@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shared scaffolding for the figure-reproduction benchmarks: each
+ * bench binary registers one google-benchmark per (scheme, x-value)
+ * configuration, caches the simulation result, and prints the
+ * paper-style table after the benchmark run.
+ */
+
+#ifndef TLR_BENCH_COMMON_HH
+#define TLR_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "harness/table.hh"
+
+namespace tlrbench
+{
+
+using tlr::RunStats;
+using tlr::Scheme;
+
+/** Cache of simulation results keyed by an arbitrary config string. */
+inline std::map<std::string, RunStats> &
+results()
+{
+    static std::map<std::string, RunStats> r;
+    return r;
+}
+
+/** Run-once-and-cache wrapper. */
+inline const RunStats &
+cachedRun(const std::string &key, const std::function<RunStats()> &fn)
+{
+    auto it = results().find(key);
+    if (it == results().end())
+        it = results().emplace(key, fn()).first;
+    return it->second;
+}
+
+/** Register a benchmark that performs (or reuses) one simulation and
+ *  reports the simulated cycle count as a counter. */
+inline void
+registerSim(const std::string &name, std::function<RunStats()> fn)
+{
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [name, fn](benchmark::State &state) {
+            for (auto _ : state) {
+                const RunStats &r = cachedRun(name, fn);
+                benchmark::DoNotOptimize(&r);
+            }
+            const RunStats &r = results().at(name);
+            state.counters["simCycles"] =
+                static_cast<double>(r.cycles);
+            state.counters["restarts"] =
+                static_cast<double>(r.restarts);
+            state.counters["valid"] = r.valid ? 1 : 0;
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+}
+
+/** The four schemes every microbenchmark figure compares. */
+inline std::vector<Scheme>
+microSchemes()
+{
+    return {Scheme::Base, Scheme::Mcs, Scheme::BaseSle,
+            Scheme::BaseSleTlr};
+}
+
+/** Processor counts on the x-axis of Figures 8-10. */
+inline std::vector<int>
+procCounts()
+{
+    return {2, 4, 6, 8, 10, 12, 14, 16};
+}
+
+/** Standard driver: init benchmark lib, register, run, print table. */
+inline int
+benchMain(int argc, char **argv, const std::function<void()> &register_fn,
+          const std::function<void()> &print_fn)
+{
+    benchmark::Initialize(&argc, argv);
+    register_fn();
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    print_fn();
+    return 0;
+}
+
+} // namespace tlrbench
+
+#endif // TLR_BENCH_COMMON_HH

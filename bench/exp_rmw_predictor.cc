@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces the Section 6.3 read-modify-write prediction study: the
+ * BASE system with the PC-indexed RMW predictor (used throughout the
+ * paper's evaluation) versus a conventional BASE without it.
+ *
+ * Paper speedups of BASE+predictor over BASE-no-opt: ocean-cont 1.00,
+ * water-nsq 1.04, raytrace 1.28, radiosity 1.05, barnes 1.04,
+ * cholesky 1.33, mp3d 1.13. The predictor collapses the load +
+ * upgrade pair inside critical sections into one exclusive request.
+ */
+
+#include "bench_common.hh"
+
+#include "workloads/apps.hh"
+
+using namespace tlr;
+using namespace tlrbench;
+
+namespace
+{
+
+constexpr int kProcs = 16;
+
+RunStats
+runOne(const AppProfile &profile, bool predictor)
+{
+    AppProfile p = profile;
+    p.itersPerCpu *= envScale();
+    MachineParams mp;
+    mp.numCpus = kProcs;
+    mp.spec = schemeSpecConfig(Scheme::Base);
+    mp.spec.enableRmwPredictor = predictor;
+    return runWorkload(mp, makeAppKernel(p, kProcs,
+                                         LockKind::TestAndTestAndSet));
+}
+
+std::string
+key(const std::string &app, bool predictor)
+{
+    return "rmw/" + app + (predictor ? "/pred" : "/nopred");
+}
+
+void
+registerAll()
+{
+    for (const AppProfile &p : allAppProfiles())
+        for (bool pred : {false, true})
+            registerSim(key(p.name, pred),
+                        [p, pred] { return runOne(p, pred); });
+}
+
+void
+printTable()
+{
+    std::printf("\n=== Section 6.3: read-modify-write predictor effect "
+                "on BASE, %d processors ===\n",
+                kProcs);
+    Table t({"app", "BASE-no-opt cycles", "BASE cycles",
+             "speedup(pred)", "valid"});
+    for (const AppProfile &p : allAppProfiles()) {
+        const RunStats &off = results().at(key(p.name, false));
+        const RunStats &on = results().at(key(p.name, true));
+        double speedup = on.cycles
+                             ? static_cast<double>(off.cycles) /
+                                   static_cast<double>(on.cycles)
+                             : 0.0;
+        t.addRow({p.name, Table::num(off.cycles), Table::num(on.cycles),
+                  Table::num(speedup),
+                  off.valid && on.valid ? "yes" : "NO"});
+    }
+    std::printf("%s", t.str().c_str());
+    std::printf("(paper speedups: ocean 1.00, water 1.04, raytrace "
+                "1.28, radiosity 1.05, barnes 1.04, cholesky 1.33, "
+                "mp3d 1.13)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, registerAll, printTable);
+}

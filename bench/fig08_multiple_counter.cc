@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces paper Figure 8: multiple-counter microbenchmark
+ * (coarse-grain locking, no data conflicts). One lock protects n
+ * counters; each processor updates only its own counter, total work
+ * constant across processor counts.
+ *
+ * Expected shape: BASE degrades with processor count (lock
+ * contention); MCS is scalable but pays a constant software overhead;
+ * SLE and TLR behave identically (no conflicts) and scale perfectly.
+ */
+
+#include "bench_common.hh"
+
+#include "workloads/micro.hh"
+
+using namespace tlr;
+using namespace tlrbench;
+
+namespace
+{
+
+std::uint64_t
+totalOps()
+{
+    return 4096 * envScale();
+}
+
+RunStats
+runOne(Scheme s, int cpus)
+{
+    MicroParams p;
+    p.numCpus = cpus;
+    p.lockKind = schemeLockKind(s);
+    p.totalOps = totalOps();
+    return runScheme(s, cpus, makeMultipleCounter(p));
+}
+
+void
+registerAll()
+{
+    for (Scheme s : microSchemes())
+        for (int n : procCounts())
+            registerSim(std::string("fig08/") + schemeName(s) + "/p" +
+                            std::to_string(n),
+                        [s, n] { return runOne(s, n); });
+}
+
+void
+printTable()
+{
+    std::printf("\n=== Figure 8: multiple-counter "
+                "(coarse-grain / no conflicts), %llu total ops ===\n",
+                static_cast<unsigned long long>(totalOps()));
+    std::vector<std::string> head{"procs"};
+    for (Scheme s : microSchemes())
+        head.push_back(schemeName(s));
+    Table t(head);
+    for (int n : procCounts()) {
+        std::vector<std::string> row{std::to_string(n)};
+        for (Scheme s : microSchemes()) {
+            const RunStats &r = results().at(
+                std::string("fig08/") + schemeName(s) + "/p" +
+                std::to_string(n));
+            row.push_back(Table::num(r.cycles) +
+                          (r.valid ? "" : " INVALID"));
+        }
+        t.addRow(row);
+    }
+    std::printf("%s", t.str().c_str());
+    std::printf("(execution cycles; lower is better; total work "
+                "constant across processor counts)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, registerAll, printTable);
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Reproduces paper Figure 9: single-counter microbenchmark
+ * (fine-grain / high conflict). One lock, one counter, every
+ * processor increments the same cache line.
+ *
+ * Expected shape: BASE degrades badly; SLE tracks BASE (it detects
+ * the conflicts and falls back to the lock); MCS is scalable with a
+ * constant overhead; TLR gives ideal queued behavior — flat across
+ * processor counts with essentially no restarts; TLR-strict-ts sits
+ * between TLR and MCS because protocol-order/timestamp-order
+ * mismatches force restarts (paper Section 6.2).
+ */
+
+#include "bench_common.hh"
+
+#include "workloads/micro.hh"
+
+using namespace tlr;
+using namespace tlrbench;
+
+namespace
+{
+
+std::uint64_t
+totalOps()
+{
+    return 4096 * envScale();
+}
+
+std::vector<Scheme>
+schemes()
+{
+    return {Scheme::Base, Scheme::Mcs, Scheme::BaseSle,
+            Scheme::TlrStrictTs, Scheme::BaseSleTlr};
+}
+
+RunStats
+runOne(Scheme s, int cpus)
+{
+    MicroParams p;
+    p.numCpus = cpus;
+    p.lockKind = schemeLockKind(s);
+    p.totalOps = totalOps();
+    return runScheme(s, cpus, makeSingleCounter(p));
+}
+
+void
+registerAll()
+{
+    for (Scheme s : schemes())
+        for (int n : procCounts())
+            registerSim(std::string("fig09/") + schemeName(s) + "/p" +
+                            std::to_string(n),
+                        [s, n] { return runOne(s, n); });
+}
+
+void
+printTable()
+{
+    std::printf("\n=== Figure 9: single-counter "
+                "(fine-grain / high conflict), %llu total ops ===\n",
+                static_cast<unsigned long long>(totalOps()));
+    std::vector<std::string> head{"procs"};
+    for (Scheme s : schemes())
+        head.push_back(schemeName(s));
+    head.push_back("TLR restarts");
+    Table t(head);
+    for (int n : procCounts()) {
+        std::vector<std::string> row{std::to_string(n)};
+        for (Scheme s : schemes()) {
+            const RunStats &r = results().at(
+                std::string("fig09/") + schemeName(s) + "/p" +
+                std::to_string(n));
+            row.push_back(Table::num(r.cycles) +
+                          (r.valid ? "" : " INVALID"));
+        }
+        const RunStats &tlr = results().at(
+            std::string("fig09/") + schemeName(Scheme::BaseSleTlr) +
+            "/p" + std::to_string(n));
+        row.push_back(Table::num(tlr.restarts));
+        t.addRow(row);
+    }
+    std::printf("%s", t.str().c_str());
+    std::printf("(execution cycles; TLR should be nearly flat with "
+                "~zero restarts: ideal hardware queue behavior)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, registerAll, printTable);
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Reproduces paper Figure 11: application performance at 16
+ * processors. For every synthetic application kernel the bench runs
+ * BASE, BASE+SLE and BASE+SLE+TLR (plus MCS, whose speedups Section
+ * 6.3 quotes in text), prints normalized execution time with the
+ * lock / non-lock breakdown as stacked ASCII bars, and the TLR and
+ * MCS speedups over BASE.
+ *
+ * Paper reference points (speedup of TLR over BASE): ocean-cont 1.02,
+ * water-nsq 1.01, raytrace 1.17, radiosity 1.47, barnes 1.16,
+ * cholesky 1.05, mp3d 1.40; MCS beats TLR only on barnes and loses
+ * badly on mp3d (frequent uncontended locks).
+ */
+
+#include "bench_common.hh"
+
+#include "workloads/apps.hh"
+
+using namespace tlr;
+using namespace tlrbench;
+
+namespace
+{
+
+constexpr int kProcs = 16;
+
+std::vector<Scheme>
+schemes()
+{
+    return {Scheme::Base, Scheme::BaseSle, Scheme::BaseSleTlr,
+            Scheme::Mcs};
+}
+
+RunStats
+runOne(const AppProfile &profile, Scheme s)
+{
+    AppProfile p = profile;
+    p.itersPerCpu *= envScale();
+    return runScheme(s, kProcs, makeAppKernel(p, kProcs,
+                                              schemeLockKind(s)));
+}
+
+std::string
+key(const std::string &app, Scheme s)
+{
+    return "fig11/" + app + "/" + schemeName(s);
+}
+
+void
+registerAll()
+{
+    for (const AppProfile &p : allAppProfiles())
+        for (Scheme s : schemes())
+            registerSim(key(p.name, s),
+                        [p, s] { return runOne(p, s); });
+}
+
+void
+printTable()
+{
+    std::printf("\n=== Figure 11: application performance, %d "
+                "processors ===\n",
+                kProcs);
+    Table t({"app", "scheme", "norm.time", "lock-frac",
+             "bar [lock='#' rest='.']", "speedup/BASE", "valid"});
+    for (const AppProfile &p : allAppProfiles()) {
+        const RunStats &base = results().at(key(p.name, Scheme::Base));
+        for (Scheme s : schemes()) {
+            const RunStats &r = results().at(key(p.name, s));
+            double norm = base.cycles
+                              ? static_cast<double>(r.cycles) /
+                                    static_cast<double>(base.cycles)
+                              : 0.0;
+            double lockFrac = r.lockFraction(kProcs);
+            t.addRow({p.name, schemeName(s), Table::num(norm),
+                      Table::num(lockFrac),
+                      splitBar(norm, lockFrac, 1.25, 32),
+                      Table::num(norm > 0 ? 1.0 / norm : 0.0),
+                      r.valid ? "yes" : "NO"});
+        }
+    }
+    std::printf("%s", t.str().c_str());
+    std::printf("(normalized to BASE per app; bars: '#' = lock "
+                "contribution, '.' = rest; paper TLR speedups: ocean "
+                "1.02, water 1.01, raytrace 1.17, radiosity 1.47, "
+                "barnes 1.16, cholesky 1.05, mp3d 1.40)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, registerAll, printTable);
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Programmability example: coarse-grain locking without the penalty
+ * (paper Section 6.3, coarse-vs-fine experiment, and the
+ * "Programmability" claim of Section 8).
+ *
+ * The same cell-update workload is run two ways:
+ *   - fine-grain: one lock per cell (hard to write, error prone);
+ *   - coarse-grain: ONE lock for all cells (trivially correct code).
+ *
+ * Under BASE, the coarse version collapses: every update serializes.
+ * Under TLR, ordering decisions are made on the data actually
+ * touched, independent of lock granularity — the coarse version runs
+ * as fast as (here: faster than) the fine-grain one, because the
+ * single lock line stays cached everywhere while 1024 fine-grain
+ * lock lines keep missing.
+ *
+ * Build & run:  ./build/examples/coarse_locking
+ */
+
+#include <cstdio>
+
+#include "harness/runner.hh"
+#include "harness/scheme.hh"
+#include "workloads/apps.hh"
+
+using namespace tlr;
+
+int
+main()
+{
+    const int cpus = 16;
+    std::printf("Cell-update kernel, %d processors: fine-grain "
+                "(per-cell locks) vs\ncoarse-grain (one lock for "
+                "everything).\n\n",
+                cpus);
+    std::printf("%-14s %-14s %10s %12s %9s\n", "locking", "scheme",
+                "cycles", "restarts", "valid");
+
+    for (bool coarse : {false, true}) {
+        AppProfile p = coarse ? mp3dCoarseProfile() : mp3dProfile();
+        for (Scheme s : {Scheme::Base, Scheme::BaseSleTlr}) {
+            Workload wl =
+                makeAppKernel(p, cpus, schemeLockKind(s));
+            RunStats r = runScheme(s, cpus, wl);
+            std::printf("%-14s %-14s %10llu %12llu %9s\n",
+                        coarse ? "1 coarse lock" : "per-cell locks",
+                        schemeName(s),
+                        static_cast<unsigned long long>(r.cycles),
+                        static_cast<unsigned long long>(r.restarts),
+                        r.valid ? "yes" : "NO");
+        }
+    }
+
+    std::printf(
+        "\nWhat to look for:\n"
+        " - BASE with the coarse lock is an order of magnitude\n"
+        "   slower: all processors serialize on one lock;\n"
+        " - TLR with the coarse lock is the FASTEST configuration:\n"
+        "   the simplest possible code wins, because serialization\n"
+        "   happens only on true data conflicts (paper Section 8:\n"
+        "   \"coarse granularity locking can be employed without\n"
+        "   paying a performance penalty\").\n");
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Quickstart: build a 4-processor machine, write a tiny lock-based
+ * program in the mini-ISA, and watch TLR execute it lock-free.
+ *
+ * The program is the classic shared-counter critical section:
+ *
+ *     acquire(lock);  counter++;  release(lock);
+ *
+ * written as a test&test&set loop — exactly what SLE/TLR hardware
+ * sees. We run it twice, once on the BASE machine and once with
+ * BASE+SLE+TLR, and compare cycles, commits, and lock traffic.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "harness/runner.hh"
+#include "harness/scheme.hh"
+#include "sync/layout.hh"
+#include "sync/lock_progs.hh"
+#include "workloads/workload.hh"
+
+using namespace tlr;
+
+namespace
+{
+
+// Register names for readability.
+constexpr Reg rLock = 1;
+constexpr Reg rCnt = 2;
+constexpr Reg rIter = 3;
+constexpr Reg rVal = 4;
+constexpr Reg rT0 = 5;
+constexpr Reg rT1 = 6;
+
+Workload
+makeCounterWorkload(int cpus, int iters)
+{
+    Layout lay;
+    Addr lock = lay.allocLock();   // line-padded lock word
+    Addr counter = lay.allocLine();
+
+    Workload wl;
+    wl.name = "quickstart-counter";
+    wl.lockClassifier = lay.classifier();
+    for (int c = 0; c < cpus; ++c) {
+        ProgramBuilder b;
+        b.li(rLock, static_cast<std::int64_t>(lock));
+        b.li(rCnt, static_cast<std::int64_t>(counter));
+        b.li(rIter, iters);
+        b.label("loop");
+        emitTtsAcquire(b, rLock, rT0, rT1); // spin; LL/SC test&set
+        b.ld(rVal, rCnt);                   // counter++
+        b.addi(rVal, rVal, 1);
+        b.st(rVal, rCnt);
+        emitTtsRelease(b, rLock);           // plain store of 0
+        b.addi(rIter, rIter, -1);
+        b.bne(rIter, 0, "loop");
+        b.halt();
+        wl.programs.push_back(b.build());
+    }
+    const std::uint64_t expected =
+        static_cast<std::uint64_t>(cpus) * iters;
+    wl.validate = [counter, expected](System &sys) {
+        return readCoherent(sys, counter) == expected;
+    };
+    return wl;
+}
+
+} // namespace
+
+int
+main()
+{
+    const int cpus = 4;
+    const int iters = 200;
+
+    std::printf("Quickstart: %d processors increment one shared "
+                "counter %d times each,\nthrough a single "
+                "test&test&set lock.\n\n",
+                cpus, iters);
+
+    for (Scheme s : {Scheme::Base, Scheme::BaseSle, Scheme::BaseSleTlr}) {
+        Workload wl = makeCounterWorkload(cpus, iters);
+        RunStats r = runScheme(s, cpus, wl);
+        std::printf("%-22s cycles=%-8llu valid=%s commits=%llu "
+                    "restarts=%llu fallbacks=%llu lock-stall=%llu\n",
+                    schemeName(s),
+                    static_cast<unsigned long long>(r.cycles),
+                    r.valid ? "yes" : "NO",
+                    static_cast<unsigned long long>(r.commits),
+                    static_cast<unsigned long long>(r.restarts),
+                    static_cast<unsigned long long>(r.fallbacks),
+                    static_cast<unsigned long long>(r.lockCycles));
+    }
+
+    std::printf("\nWhat to look for:\n"
+                " - all three runs compute the same correct result;\n"
+                " - BASE spends most of its time stalled on the lock;\n"
+                " - TLR commits every critical section as a lock-free\n"
+                "   transaction (commits == %d) and the lock stall all\n"
+                "   but disappears, despite every section conflicting\n"
+                "   on the same counter line.\n",
+                cpus * iters);
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Scenario example: the paper's doubly-linked list (Section 5.1).
+ *
+ * A single lock protects a queue with Head and Tail pointers. With a
+ * lock, enqueuers and dequeuers serialize even though a non-empty
+ * queue could support one of each concurrently — the programmer
+ * cannot easily express that concurrency (an enqueuer does not know
+ * whether it must also touch Head until it has looked at Tail).
+ *
+ * TLR extracts the concurrency dynamically: transactions touching
+ * only Head run in parallel with transactions touching only Tail,
+ * and the rare empty-queue transitions (which touch both) are
+ * serialized by timestamp order. This example runs the benchmark on
+ * every scheme and reports where the time went.
+ *
+ * Build & run:  ./build/examples/transactional_queue
+ */
+
+#include <cstdio>
+
+#include "harness/runner.hh"
+#include "harness/scheme.hh"
+#include "workloads/micro.hh"
+
+using namespace tlr;
+
+int
+main()
+{
+    const int cpus = 8;
+    MicroParams p;
+    p.numCpus = cpus;
+    p.totalOps = 1024; // enqueue+dequeue pairs, split across cpus
+
+    std::printf("Doubly-linked list, %d processors, one lock, %llu "
+                "dequeue+enqueue pairs.\n\n",
+                cpus, static_cast<unsigned long long>(p.totalOps));
+    std::printf("%-24s %10s %9s %9s %9s %10s\n", "scheme", "cycles",
+                "commits", "restarts", "fallbacks", "valid");
+
+    for (Scheme s : {Scheme::Base, Scheme::Mcs, Scheme::BaseSle,
+                     Scheme::BaseSleTlr}) {
+        p.lockKind = schemeLockKind(s);
+        Workload wl = makeDoublyLinkedList(p);
+        RunStats r = runScheme(s, cpus, wl);
+        std::printf("%-24s %10llu %9llu %9llu %9llu %10s\n",
+                    schemeName(s),
+                    static_cast<unsigned long long>(r.cycles),
+                    static_cast<unsigned long long>(r.commits),
+                    static_cast<unsigned long long>(r.restarts),
+                    static_cast<unsigned long long>(r.fallbacks),
+                    r.valid ? "yes" : "NO");
+    }
+
+    std::printf(
+        "\nWhat to look for:\n"
+        " - every scheme preserves the list structure (valid=yes);\n"
+        " - SLE alone barely helps: it keeps detecting the dynamic\n"
+        "   Head/Tail conflicts and falls back to the lock;\n"
+        " - TLR commits nearly every operation as a lock-free\n"
+        "   transaction and runs fastest: dequeues and enqueues\n"
+        "   overlap even though the program uses a single lock.\n");
+    return 0;
+}

@@ -1,0 +1,172 @@
+#include "coherence/directory.hh"
+
+#include "coherence/memory_controller.hh"
+#include "sim/logging.hh"
+
+namespace tlr
+{
+
+DirectoryInterconnect::DirectoryInterconnect(EventQueue &eq,
+                                             StatSet &stats,
+                                             InterconnectParams params)
+    : Interconnect(eq, stats, params),
+      fwdSnoops_(stats.counter("dir", "forwardedSnoops")),
+      invalidations_(stats.counter("dir", "invalidations"))
+{
+}
+
+void
+DirectoryInterconnect::submit(const BusRequest &req)
+{
+    BusRequest r = req;
+    r.sn = nextSn_++;
+    DTRACE(eq_.now(), "Dir", "submit %s line=%#llx cpu=%d %s",
+           reqTypeName(r.type), static_cast<unsigned long long>(r.line),
+           r.requester, r.ts.str().c_str());
+    // Request travels to the home node, then queues for the directory
+    // pipeline (one ordered transaction per addrOccupancy cycles).
+    eq_.scheduleIn(params_.snoopLatency,
+                   [this, r] {
+                       queue_.push_back(r);
+                       if (!pumpScheduled_) {
+                           pumpScheduled_ = true;
+                           eq_.scheduleIn(0, [this] { pump(); },
+                                          EventPrio::Snoop);
+                       }
+                   },
+                   EventPrio::BusArbitration);
+}
+
+void
+DirectoryInterconnect::pump()
+{
+    if (queue_.empty()) {
+        pumpScheduled_ = false;
+        return;
+    }
+    BusRequest req = queue_.front();
+    queue_.pop_front();
+    ++txnCount_;
+    process(req);
+    eq_.scheduleIn(params_.addrOccupancy, [this] { pump(); },
+                   EventPrio::Snoop);
+}
+
+void
+DirectoryInterconnect::process(const BusRequest &req)
+{
+    DTRACE(eq_.now(), "Dir", "order %s line=%#llx cpu=%d sn=%llu",
+           reqTypeName(req.type), static_cast<unsigned long long>(req.line),
+           req.requester, static_cast<unsigned long long>(req.sn));
+    Entry &e = dir_[req.line];
+    auto snooper = [this](CpuId c) {
+        return snoopers_.at(static_cast<size_t>(c));
+    };
+
+    switch (req.type) {
+      case ReqType::WriteBack:
+        // Data became architecturally visible at eviction time; the
+        // directory merely stops forwarding requests to the ex-owner.
+        if (e.owner == req.requester)
+            e.owner = invalidCpu;
+        e.sharers.erase(req.requester);
+        return;
+
+      case ReqType::Upgrade: {
+        if (!snooper(req.requester)->upgradeValid(req.line)) {
+            // Stale: the requester reissues as GetX (no side effects).
+            snooper(req.requester)->ownRequestOrdered(req, false, false);
+            return;
+        }
+        // Invalidate every other copy, including an Owned supplier.
+        for (CpuId c : e.sharers) {
+            if (c != req.requester) {
+                ++invalidations_;
+                snooper(c)->snoop(req);
+            }
+        }
+        if (e.owner != invalidCpu && e.owner != req.requester &&
+            !e.sharers.count(e.owner)) {
+            ++invalidations_;
+            snooper(e.owner)->snoop(req);
+        }
+        e.owner = req.requester;
+        e.sharers = {req.requester};
+        snooper(req.requester)->ownRequestOrdered(req, false, false);
+        return;
+      }
+
+      case ReqType::GetS: {
+        if (e.owner == req.requester)
+            e.owner = invalidCpu; // it clearly lost its copy
+        bool anyOwner = false;
+        if (e.owner != invalidCpu) {
+            ++fwdSnoops_;
+            SnoopReply r = snooper(e.owner)->snoop(req);
+            anyOwner = r.owner;
+            if (!anyOwner)
+                e.owner = invalidCpu; // silently evicted / written back
+        }
+        bool anySharer = anyOwner;
+        for (CpuId c : e.sharers)
+            if (c != req.requester)
+                anySharer = true;
+        e.sharers.insert(req.requester);
+        snooper(req.requester)->ownRequestOrdered(req, anyOwner,
+                                                  anySharer);
+        if (!anyOwner) {
+            if (!anySharer) {
+                // The grant will be Exclusive: E is an owner state, so
+                // the directory must track the requester as owner (it
+                // can silently write, and later readers must be able
+                // to find it).
+                e.owner = req.requester;
+            }
+            mem_->supply(req, anySharer);
+        }
+        return;
+      }
+
+      case ReqType::GetX: {
+        if (e.owner == req.requester)
+            e.owner = invalidCpu;
+        bool anyOwner = false;
+        CpuId oldOwner = e.owner;
+        if (oldOwner != invalidCpu) {
+            ++fwdSnoops_;
+            SnoopReply r = snooper(oldOwner)->snoop(req);
+            anyOwner = r.owner;
+        }
+        for (CpuId c : e.sharers) {
+            if (c != req.requester && c != oldOwner) {
+                ++invalidations_;
+                snooper(c)->snoop(req);
+            }
+        }
+        // The requester is the protocol owner from this point on,
+        // even though the data may flow through a deferral chain.
+        e.owner = req.requester;
+        e.sharers = {req.requester};
+        snooper(req.requester)->ownRequestOrdered(req, anyOwner, false);
+        if (!anyOwner)
+            mem_->supply(req, false);
+        return;
+      }
+    }
+}
+
+CpuId
+DirectoryInterconnect::dirOwner(Addr line) const
+{
+    auto it = dir_.find(lineAlign(line));
+    return it == dir_.end() ? invalidCpu : it->second.owner;
+}
+
+size_t
+DirectoryInterconnect::dirSharers(Addr line) const
+{
+    auto it = dir_.find(lineAlign(line));
+    return it == dir_.end() ? 0 : it->second.sharers.size();
+}
+
+} // namespace tlr

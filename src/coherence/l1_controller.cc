@@ -1,0 +1,1175 @@
+#include "coherence/l1_controller.hh"
+
+#include "sim/logging.hh"
+
+namespace tlr
+{
+
+const char *
+abortReasonName(AbortReason r)
+{
+    switch (r) {
+      case AbortReason::ConflictLost: return "conflict-lost";
+      case AbortReason::SharedInvalidation: return "shared-invalidation";
+      case AbortReason::ProbeLost: return "probe-lost";
+      case AbortReason::PendingInvalidated: return "pending-invalidated";
+      case AbortReason::ResourceVictimFull: return "victim-full";
+      case AbortReason::ResourceWriteBuffer: return "write-buffer-full";
+      case AbortReason::ResourceStructural: return "structural";
+      case AbortReason::Unbufferable: return "unbufferable";
+      case AbortReason::Preempted: return "preempted";
+      case AbortReason::QuantumExpired: return "quantum-expired";
+    }
+    return "?";
+}
+
+L1Controller::L1Controller(EventQueue &eq, StatSet &stats, CpuId id,
+                           L1Params params, Interconnect &net,
+                           MemoryController &mem, SpecHooks &hooks)
+    : eq_(eq), stats_(stats), id_(id), params_(params), net_(net),
+      mem_(mem), hooks_(hooks), array_(params.sizeBytes, params.ways),
+      victim_(params.victimEntries),
+      hits_(stats.counter("l1_" + std::to_string(id), "hits")),
+      misses_(stats.counter("l1_" + std::to_string(id), "misses")),
+      upgrades_(stats.counter("l1_" + std::to_string(id), "upgrades")),
+      defers_(stats.counter("l1_" + std::to_string(id), "defers")),
+      relaxedDefers_(
+          stats.counter("l1_" + std::to_string(id), "relaxedDefers")),
+      probesSent_(stats.counter("l1_" + std::to_string(id), "probesSent")),
+      writeBacksInit_(
+          stats.counter("l1_" + std::to_string(id), "writeBacks")),
+      victimInserts_(
+          stats.counter("l1_" + std::to_string(id), "victimInserts"))
+{
+}
+
+//
+// ---- lookup / replacement ---------------------------------------------
+//
+
+CacheLine *
+L1Controller::findLine(Addr line_addr)
+{
+    if (CacheLine *l = array_.find(line_addr))
+        return l;
+    if (CacheLine *v = victim_.find(line_addr)) {
+        // Lazy promotion: move back only if a way is free, avoiding an
+        // eviction cascade; otherwise operate on the line in place.
+        CacheLine *slot = array_.allocateSlot(line_addr);
+        if (slot && !isValidState(slot->state)) {
+            *slot = *v;
+            victim_.erase(line_addr);
+            return slot;
+        }
+        return v;
+    }
+    return nullptr;
+}
+
+const CacheLine *
+L1Controller::findLineConst(Addr line_addr) const
+{
+    return const_cast<L1Controller *>(this)->findLine(line_addr);
+}
+
+bool
+L1Controller::evictLine(CacheLine &line)
+{
+    if (line.inTransaction() && hooks_.specActive()) {
+        CacheLine copy = line;
+        if (victim_.insert(copy)) {
+            ++victimInserts_;
+            line.state = CohState::Invalid;
+            line.clearAccess();
+            return true;
+        }
+        // Victim cache full of transactional lines: the resource
+        // guarantee of paper Section 3.3 is exceeded; fall back.
+        hooks_.resourceAbort(line.addr, AbortReason::ResourceVictimFull);
+        // Access bits are now cleared; fall through to a normal evict.
+    }
+    if (isDirtyState(line.state)) {
+        mem_.writeBack(line.addr, line.data);
+        net_.submit({ReqType::WriteBack, line.addr, id_, Timestamp{}, 0});
+        ++writeBacksInit_;
+    }
+    clearLinkIf(line.addr);
+    line.invalidate();
+    return true;
+}
+
+CacheLine *
+L1Controller::installLine(Addr line_addr, const LineData &data,
+                          CohState state)
+{
+    CacheLine *slot = array_.allocateSlot(line_addr);
+    if (!slot) {
+        if (hooks_.specActive()) {
+            hooks_.resourceAbort(line_addr,
+                                 AbortReason::ResourceStructural);
+            slot = array_.allocateSlot(line_addr);
+        }
+        if (!slot)
+            panic("l1 %d: no allocatable way for line %#llx", id_,
+                  static_cast<unsigned long long>(line_addr));
+    }
+    if (isValidState(slot->state))
+        evictLine(*slot);
+    slot->addr = line_addr;
+    slot->state = state;
+    slot->data = data;
+    slot->clearAccess();
+    slot->pinned = false;
+    array_.touch(*slot, eq_.now());
+    return slot;
+}
+
+//
+// ---- engine-facing request path ---------------------------------------
+//
+
+void
+L1Controller::respond(const CacheOp &op, std::uint64_t value)
+{
+    eq_.scheduleIn(params_.hitLatency,
+                   [this, op, value] { hooks_.cacheOpDone(op, value); },
+                   EventPrio::DataResponse);
+}
+
+bool
+L1Controller::hasEarlierContender(Addr *line_out) const
+{
+    Timestamp mine = hooks_.currentTs();
+    for (const auto &d : deferred_) {
+        if (d.ts.valid && d.ts.earlierThan(mine)) {
+            if (line_out)
+                *line_out = d.line;
+            return true;
+        }
+    }
+    for (const auto &[la, m] : mshrs_) {
+        if (!(m.op && m.op->spec) && !(m.queuedOp && m.queuedOp->spec))
+            continue;
+        for (const Waiter &w : m.waiters) {
+            if (w.deferred && w.ts.valid && w.ts.earlierThan(mine)) {
+                if (line_out)
+                    *line_out = la;
+                return true;
+            }
+        }
+    }
+    for (const auto &[la, hint] : probeHints_) {
+        if (!hint.valid || !hint.earlierThan(mine))
+            continue;
+        const CacheLine *l = findLineConst(la);
+        bool retained =
+            l && isOwnerState(l->state) && l->inTransaction();
+        if (!retained) {
+            auto mit = mshrs_.find(la);
+            retained = mit != mshrs_.end() &&
+                       ((mit->second.op && mit->second.op->spec) ||
+                        (mit->second.queuedOp &&
+                         mit->second.queuedOp->spec));
+        }
+        if (retained) {
+            if (line_out)
+                *line_out = la;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+L1Controller::forwardContenderProbes()
+{
+    // Push the priority of every held-off higher-priority contender
+    // toward the data its chain is rooted at, so upstream holders
+    // learn about it (paper Section 3.1.1).
+    for (auto &[line2, m2] : mshrs_) {
+        if (!(m2.op && m2.op->spec) &&
+            !(m2.queuedOp && m2.queuedOp->spec))
+            continue;
+        for (const Waiter &w : m2.waiters) {
+            if (!(w.deferred && w.ts.valid &&
+                  w.ts.earlierThan(hooks_.currentTs())))
+                continue;
+            if (m2.markerFrom != invalidCpu) {
+                net_.sendProbe(m2.markerFrom, {line2, w.ts, id_});
+                ++probesSent_;
+            } else if (!m2.pendingProbe ||
+                       w.ts.earlierThan(*m2.pendingProbe)) {
+                m2.pendingProbe = w.ts;
+            }
+            m2.loseOnArrival = true;
+        }
+    }
+}
+
+bool
+L1Controller::detectTwoCycle(Addr *line_out) const
+{
+    // A locally certain deadlock: an earlier-timestamp contender C is
+    // queued behind us (so C waits on us) while our upstream neighbor
+    // for some outstanding transactional miss is C itself (so we wait
+    // on C). Neither can commit; no timer needed.
+    Timestamp mine = hooks_.currentTs();
+    auto waitsOnUs = [&](CpuId c) {
+        for (const auto &d : deferred_)
+            if (d.cpu == c && d.ts.valid && d.ts.earlierThan(mine))
+                return true;
+        for (const auto &[la2, m2] : mshrs_) {
+            (void)la2;
+            if (!(m2.op && m2.op->spec) &&
+                !(m2.queuedOp && m2.queuedOp->spec))
+                continue;
+            for (const Waiter &w : m2.waiters)
+                if (w.cpu == c && w.deferred && w.ts.valid &&
+                    w.ts.earlierThan(mine))
+                    return true;
+        }
+        return false;
+    };
+    for (const auto &[la, m] : mshrs_) {
+        if (!(m.op && m.op->spec) && !(m.queuedOp && m.queuedOp->spec))
+            continue;
+        if (m.markerFrom != invalidCpu && waitsOnUs(m.markerFrom)) {
+            if (line_out)
+                *line_out = la;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+L1Controller::maybeArmYield()
+{
+    if (!hooks_.tlrActive() || hooks_.strictTimestamps())
+        return;
+    Addr cycleLine = 0;
+    if (hooks_.specActive() && outstandingSpecMisses() > 0 &&
+        detectTwoCycle(&cycleLine)) {
+        forwardContenderProbes();
+        hooks_.conflictAbort(cycleLine, AbortReason::ConflictLost);
+        return;
+    }
+    if (yieldArmed_)
+        return;
+    if (outstandingSpecMisses() == 0)
+        return; // not waiting for anything: we will commit and service
+    if (!hasEarlierContender())
+        return;
+    yieldArmed_ = true;
+    const std::uint64_t gen = ++yieldGen_;
+    eq_.scheduleIn(params_.yieldTimeout,
+                   [this, gen] { yieldFire(gen); });
+}
+
+void
+L1Controller::yieldFire(std::uint64_t gen)
+{
+    if (gen != yieldGen_ || !yieldArmed_)
+        return;
+    yieldArmed_ = false;
+    if (!hooks_.specActive() || !hooks_.tlrActive())
+        return;
+    if (outstandingSpecMisses() == 0)
+        return; // the wait resolved: commit is imminent
+    Addr line = 0;
+    if (!hasEarlierContender(&line)) {
+        maybeArmYield(); // still waiting; re-arm if one appears
+        return;
+    }
+    // We have both waited for yieldTimeout and held off a
+    // higher-priority contender the whole time: a cyclic wait is the
+    // only schedule that cannot drain, so enforce timestamp order.
+    forwardContenderProbes();
+    hooks_.conflictAbort(line, AbortReason::ConflictLost);
+}
+
+bool
+L1Controller::yieldBeforeWaiting(Addr la, bool spec)
+{
+    if (!spec || !hooks_.tlrActive())
+        return false;
+    if (hooks_.strictTimestamps()) {
+        // Strict mode: enforce timestamp order the moment a new wait
+        // would begin while a higher-priority contender is held off
+        // (paper Section 3.2).
+        if (hasEarlierContender()) {
+            forwardContenderProbes();
+            hooks_.conflictAbort(la, AbortReason::ConflictLost);
+            return true;
+        }
+        return false;
+    }
+    // Relaxed mode: allow the wait; the deadlock-recovery timer
+    // enforces timestamp order only if the wait persists.
+    (void)la;
+    return false;
+}
+
+void
+L1Controller::missIssue(const CacheOp &op, ReqType type)
+{
+    Addr la = lineAlign(op.addr);
+    if (yieldBeforeWaiting(la, op.spec))
+        return;
+    DTRACE(eq_.now(), "L1", "cpu%d missIssue %s line=%#llx spec=%d",
+           id_, reqTypeName(type), static_cast<unsigned long long>(la),
+           op.spec ? 1 : 0);
+    ++misses_;
+    if (type == ReqType::Upgrade)
+        ++upgrades_;
+    Mshr m;
+    m.type = type;
+    m.line = la;
+    m.spec = op.spec;
+    m.op = op;
+    mshrs_.emplace(la, std::move(m));
+    Timestamp ts = op.spec ? hooks_.currentTs() : Timestamp{};
+    net_.submit({type, la, id_, ts, 0});
+    if (op.spec)
+        maybeArmYield();
+}
+
+void
+L1Controller::access(const CacheOp &op)
+{
+    Addr la = lineAlign(op.addr);
+    auto mit = mshrs_.find(la);
+    if (mit != mshrs_.end()) {
+        // A restart re-issued an access to a line whose miss (from the
+        // squashed attempt) is still in flight: complete it afterwards.
+        // Queueing is a wait, so the same yield rules apply.
+        if (yieldBeforeWaiting(la, op.spec))
+            return;
+        if (mit->second.queuedOp)
+            panic("l1 %d: two queued ops for line %#llx", id_,
+                  static_cast<unsigned long long>(la));
+        mit->second.queuedOp = op;
+        return;
+    }
+
+    CacheLine *l = findLine(la);
+    unsigned wi = wordIndex(op.addr);
+
+    switch (op.kind) {
+      case CacheOp::Kind::LoadShared:
+      case CacheOp::Kind::LoadExclusive:
+        if (l) {
+            ++hits_;
+            array_.touch(*l, eq_.now());
+            if (op.spec)
+                l->accessRead = true;
+            if (op.isLl) {
+                linkValid_ = true;
+                linkLine_ = la;
+                linkAddr_ = op.addr;
+            }
+            respond(op, l->data[wi]);
+            return;
+        }
+        missIssue(op, op.kind == CacheOp::Kind::LoadExclusive
+                          ? ReqType::GetX
+                          : ReqType::GetS);
+        return;
+
+      case CacheOp::Kind::Store:
+        if (l && isWritableState(l->state)) {
+            ++hits_;
+            array_.touch(*l, eq_.now());
+            l->data[wi] = op.data;
+            l->state = CohState::Modified;
+            clearLinkIf(la);
+            respond(op, 0);
+            return;
+        }
+        missIssue(op, l ? ReqType::Upgrade : ReqType::GetX);
+        return;
+
+      case CacheOp::Kind::EnsureExclusive:
+        if (l && isWritableState(l->state)) {
+            ++hits_;
+            array_.touch(*l, eq_.now());
+            l->accessWrite = true;
+            // The current word value is returned so speculative
+            // atomics can read-modify-write through the write buffer.
+            respond(op, l->data[wi]);
+            return;
+        }
+        missIssue(op, l ? ReqType::Upgrade : ReqType::GetX);
+        return;
+
+      case CacheOp::Kind::AtomicSwap:
+      case CacheOp::Kind::AtomicCas:
+      case CacheOp::Kind::AtomicAdd:
+        if (l && isWritableState(l->state)) {
+            ++hits_;
+            array_.touch(*l, eq_.now());
+            std::uint64_t old = l->data[wi];
+            if (op.kind == CacheOp::Kind::AtomicAdd) {
+                l->data[wi] = old + op.data;
+                l->state = CohState::Modified;
+                clearLinkIf(la);
+            } else if (op.kind == CacheOp::Kind::AtomicSwap ||
+                       old == op.expected) {
+                l->data[wi] = op.data;
+                l->state = CohState::Modified;
+                clearLinkIf(la);
+            }
+            respond(op, old);
+            return;
+        }
+        missIssue(op, l ? ReqType::Upgrade : ReqType::GetX);
+        return;
+
+      case CacheOp::Kind::StoreCond:
+        if (!linkValid(op.addr)) {
+            respond(op, 0);
+            return;
+        }
+        if (l && isWritableState(l->state)) {
+            ++hits_;
+            array_.touch(*l, eq_.now());
+            l->data[wi] = op.data;
+            l->state = CohState::Modified;
+            linkValid_ = false;
+            respond(op, 1);
+            return;
+        }
+        missIssue(op, l ? ReqType::Upgrade : ReqType::GetX);
+        return;
+    }
+}
+
+//
+// ---- snooping ----------------------------------------------------------
+//
+
+bool
+L1Controller::conflicts(const BusRequest &req, bool read_set,
+                        bool write_set) const
+{
+    if (req.type == ReqType::GetS)
+        return write_set;
+    return read_set || write_set; // GetX / Upgrade
+}
+
+bool
+L1Controller::winsConflict(const Timestamp &incoming) const
+{
+    if (!hooks_.tlrActive())
+        return false; // SLE alone cannot defer: it always restarts
+    if (!incoming.valid)
+        return hooks_.deferUntimestamped();
+    // Win unless the incoming timestamp is strictly earlier. Equality
+    // means the request is our own (timestamps are globally unique):
+    // a probe carrying our priority must never restart us.
+    return !incoming.earlierThan(hooks_.currentTs());
+}
+
+bool
+L1Controller::deferredExclusive(Addr line_addr) const
+{
+    for (const auto &d : deferred_)
+        if (d.line == line_addr && d.type != ReqType::GetS)
+            return true;
+    return false;
+}
+
+void
+L1Controller::handleChainSnoop(Mshr &mshr, const BusRequest &req,
+                               SnoopReply &reply)
+{
+    (void)reply;
+    Waiter w{req.requester, req.type, req.ts, false};
+    // Tell the new pending owner who its upstream neighbor is so it
+    // can forward probes toward the data (paper Section 3.1.1).
+    net_.sendMarker(req.requester, {mshr.line, id_});
+
+    // Propagate the request's priority toward the data holder at the
+    // head of the chain ("conflicting requests must propagate along
+    // the coherence chain towards the root"). The holder compares
+    // timestamps itself: a winner ignores the probe, a loser releases
+    // the block. We cannot make that decision here — the holder may
+    // be a multi-block transaction that has to yield even when we
+    // would not.
+    if (req.ts.valid) {
+        if (mshr.markerFrom != invalidCpu) {
+            net_.sendProbe(mshr.markerFrom, {mshr.line, req.ts, id_});
+            ++probesSent_;
+        } else if (!mshr.pendingProbe ||
+                   req.ts.earlierThan(*mshr.pendingProbe)) {
+            mshr.pendingProbe = req.ts;
+        }
+    }
+
+    bool writeIntent =
+        mshr.op && (mshr.op->kind == CacheOp::Kind::EnsureExclusive ||
+                    mshr.op->kind == CacheOp::Kind::Store ||
+                    mshr.op->kind == CacheOp::Kind::StoreCond ||
+                    mshr.op->kind == CacheOp::Kind::AtomicSwap ||
+                    mshr.op->kind == CacheOp::Kind::AtomicCas);
+    bool readIntent = mshr.op && !writeIntent;
+
+    if (mshr.spec && hooks_.specActive() &&
+        conflicts(req, readIntent, writeIntent)) {
+        hooks_.noteConflictTs(req.ts);
+        bool win = winsConflict(req.ts);
+        if (!win && hooks_.tlrActive() && !hooks_.strictTimestamps() &&
+            outstandingSpecMisses() == 1 && deferred_.empty()) {
+            // Paper Section 3.2: our transaction is involved with a
+            // single contended block (this one), so we are not a
+            // deadlock risk ourselves and may stay queued; the probe
+            // sent above carries the contender's priority to the
+            // data holder, which yields if it must.
+            win = true;
+            ++relaxedDefers_;
+        }
+        if (!win && !hooks_.strictTimestamps() && req.ts.valid) {
+            // Higher-priority contender behind us in the chain. The
+            // probe above already carries its priority upstream; keep
+            // it queued and let the deadlock-recovery timer enforce
+            // timestamp order only if this wait persists — in an
+            // order-consistent queue we finish first and service it.
+            win = true;
+        }
+        if (win) {
+            // The requester waits until we commit.
+            w.deferred = true;
+            ++defers_;
+            if (req.ts.valid &&
+                req.ts.earlierThan(hooks_.currentTs())) {
+                mshr.waiters.push_back(w);
+                if (req.type != ReqType::GetS)
+                    mshr.ownershipPassed = true;
+                maybeArmYield();
+                return;
+            }
+        } else {
+            // Strict mode / un-deferrable: step aside immediately.
+            mshr.loseOnArrival = true;
+            hooks_.conflictAbort(mshr.line, AbortReason::ConflictLost);
+        }
+    }
+
+    mshr.waiters.push_back(w);
+    if (req.type != ReqType::GetS)
+        mshr.ownershipPassed = true;
+}
+
+void
+L1Controller::handleOwnerSnoop(CacheLine &line, const BusRequest &req,
+                               SnoopReply &reply)
+{
+    Addr la = req.line;
+    if (hooks_.specActive() &&
+        conflicts(req, line.accessRead, line.accessWrite)) {
+        hooks_.noteConflictTs(req.ts);
+        // Only an exclusively owned block (M/E) is retainable (paper
+        // Fig. 3). An Owned copy implies we may ourselves need an
+        // upgrade for it, so holding requests hostage from O could
+        // invert the protocol order: lose the conflict instead.
+        bool win = isWritableState(line.state) && winsConflict(req.ts);
+        if (!win && isWritableState(line.state) && hooks_.tlrActive() &&
+            !hooks_.strictTimestamps() && req.ts.valid) {
+            // Relaxed mode: retain the block and queue even a
+            // higher-priority request (paper Section 3.2 generalized).
+            // If we are not waiting for anything we commit first and
+            // service it; if we are, the deadlock-recovery timer
+            // enforces timestamp order should the wait persist.
+            win = true;
+            ++relaxedDefers_;
+        }
+        if (win) {
+            DTRACE(eq_.now(), "L1", "cpu%d DEFER %s line=%#llx from=%d",
+                   id_, reqTypeName(req.type),
+                   static_cast<unsigned long long>(la), req.requester);
+            ++defers_;
+            deferred_.push_back({la, req.requester, req.type, req.ts});
+            line.pinned = true;
+            net_.sendMarker(req.requester, {la, id_});
+            maybeArmYield();
+            return; // owner=true already: requester waits on us
+        }
+        DTRACE(eq_.now(), "L1", "cpu%d LOSE %s line=%#llx from=%d", id_,
+               reqTypeName(req.type), static_cast<unsigned long long>(la),
+               req.requester);
+        hooks_.conflictAbort(la, isWritableState(line.state)
+                                     ? AbortReason::ConflictLost
+                                     : AbortReason::SharedInvalidation);
+        // Access bits are cleared now; service the request normally.
+        // Note: `line` is still valid — aborting never invalidates it.
+    }
+
+    DataMsg msg;
+    msg.line = la;
+    msg.data = line.data;
+    msg.from = id_;
+    if (req.type == ReqType::GetS) {
+        msg.grant = Grant::SharedData;
+        if (line.state == CohState::Modified)
+            line.state = CohState::Owned;
+        else if (line.state == CohState::Exclusive)
+            line.state = CohState::Shared;
+        reply.sharer = true;
+    } else {
+        msg.grant = Grant::ModifiedData;
+        clearLinkIf(la);
+        line.invalidate();
+        victim_.erase(la);
+    }
+    net_.sendData(req.requester, msg);
+}
+
+SnoopReply
+L1Controller::snoop(const BusRequest &req)
+{
+    SnoopReply reply;
+    Addr la = req.line;
+    DTRACE(eq_.now(), "L1", "cpu%d snoop %s line=%#llx from=%d state=%s "
+           "mshr=%d", id_, reqTypeName(req.type),
+           static_cast<unsigned long long>(la), req.requester,
+           cohStateName(lineState(la)), mshrs_.count(la) ? 1 : 0);
+
+    auto mit = mshrs_.find(la);
+    if (mit != mshrs_.end() && mit->second.ordered) {
+        Mshr &m = mit->second;
+        if (m.isExclusive() && !m.ownershipPassed) {
+            // We are the protocol owner even though data has not
+            // arrived: record the request in the ownership chain.
+            reply.owner = true;
+            handleChainSnoop(m, req, reply);
+            return reply;
+        }
+        if (!m.isExclusive()) {
+            if (req.type == ReqType::GetS) {
+                // Another reader: we will hold a Shared copy, so it
+                // must not be granted (nor keep) Exclusive.
+                reply.sharer = true;
+                m.downgradeToShared = true;
+                return reply;
+            }
+            // Pending read overtaken by a write: the arriving data may
+            // be used once but must not be cached.
+            {
+                m.invalidateOnArrival = true;
+                if (m.spec && m.op && hooks_.specActive()) {
+                    hooks_.noteConflictTs(req.ts);
+                    hooks_.conflictAbort(la,
+                                         AbortReason::PendingInvalidated);
+                }
+            }
+            return reply;
+        }
+        return reply; // exclusive MSHR, ownership already passed on
+    }
+
+    CacheLine *l = findLine(la);
+    if (!l)
+        return reply;
+
+    if (isOwnerState(l->state)) {
+        if (deferredExclusive(la)) {
+            // Ownership was already promised to a deferred GetX; new
+            // requests are recorded at that pending owner instead.
+            return reply;
+        }
+        if (req.type == ReqType::Upgrade) {
+            // A valid upgrade implies the requester holds Shared, so
+            // no Modified/Exclusive copy can exist anywhere.
+            if (isWritableState(l->state))
+                panic("l1 %d: valid upgrade snooped on %s line %#llx",
+                      id_, cohStateName(l->state),
+                      static_cast<unsigned long long>(la));
+            // Owned copy: same data as the upgrader's Shared copy; no
+            // data response exists to withhold, so an upgrade can
+            // never be deferred (paper Section 3.1.2).
+            if (l->inTransaction() && hooks_.specActive()) {
+                hooks_.noteConflictTs(req.ts);
+                hooks_.conflictAbort(la, AbortReason::SharedInvalidation);
+            }
+            clearLinkIf(la);
+            l->invalidate();
+            victim_.erase(la);
+            return reply;
+        }
+        reply.owner = true;
+        handleOwnerSnoop(*l, req, reply);
+        return reply;
+    }
+
+    if (l->state == CohState::Shared) {
+        if (req.type == ReqType::GetS) {
+            reply.sharer = true;
+            return reply;
+        }
+        reply.sharer = true;
+        if (l->inTransaction() && hooks_.specActive()) {
+            hooks_.noteConflictTs(req.ts);
+            hooks_.conflictAbort(la, AbortReason::SharedInvalidation);
+        }
+        clearLinkIf(la);
+        l->invalidate();
+        victim_.erase(la);
+    }
+    return reply;
+}
+
+void
+L1Controller::ownRequestOrdered(const BusRequest &req, bool any_owner,
+                                bool any_sharer)
+{
+    (void)any_owner;
+    (void)any_sharer;
+    auto it = mshrs_.find(req.line);
+    if (it == mshrs_.end())
+        panic("l1 %d: ordered request without MSHR line=%#llx", id_,
+              static_cast<unsigned long long>(req.line));
+    Mshr &m = it->second;
+
+    if (req.type == ReqType::Upgrade) {
+        CacheLine *l = findLine(req.line);
+        if (l && (l->state == CohState::Shared ||
+                  l->state == CohState::Owned)) {
+            // Still valid: upgrade completes instantly, no data needed.
+            // (An Owned copy has the authoritative data already; the
+            // snoop invalidated every other sharer.)
+            l->state = CohState::Modified;
+            Mshr done = std::move(m);
+            mshrs_.erase(it);
+            finishOp(done, l, l->data);
+            if (done.op && done.op->spec)
+                hooks_.specMshrDrained(req.line);
+            if (done.queuedOp) {
+                CacheOp q = *done.queuedOp;
+                eq_.scheduleIn(1, [this, q] { access(q); });
+            }
+            return;
+        }
+        // Invalidated while the upgrade was in flight: reissue as GetX.
+        // A spec-originated miss keeps its transactional identity even
+        // if the attempt restarted meanwhile (the instance timestamp
+        // is retained), so the reissue carries the current timestamp.
+        m.type = ReqType::GetX;
+        m.ordered = false;
+        Timestamp ts = m.spec ? hooks_.currentTs() : Timestamp{};
+        net_.submit({ReqType::GetX, req.line, id_, ts, 0});
+        return;
+    }
+
+    m.ordered = true;
+}
+
+void
+L1Controller::finishOp(Mshr &mshr, CacheLine *line, const LineData &data)
+{
+    if (!mshr.op)
+        return; // dropped by an abort; the fill still installed the line
+    const CacheOp &op = *mshr.op;
+    unsigned wi = wordIndex(op.addr);
+
+    switch (op.kind) {
+      case CacheOp::Kind::LoadShared:
+      case CacheOp::Kind::LoadExclusive: {
+        std::uint64_t v = line ? line->data[wi] : data[wi];
+        if (op.spec && line)
+            line->accessRead = true;
+        if (op.isLl && line) {
+            linkValid_ = true;
+            linkLine_ = lineAlign(op.addr);
+            linkAddr_ = op.addr;
+        }
+        respond(op, v);
+        return;
+      }
+      case CacheOp::Kind::Store:
+        if (!line || !isWritableState(line->state))
+            panic("l1 %d: store fill without write permission", id_);
+        line->data[wi] = op.data;
+        line->state = CohState::Modified;
+        clearLinkIf(lineAlign(op.addr));
+        respond(op, 0);
+        return;
+      case CacheOp::Kind::EnsureExclusive:
+        if (!line || !isWritableState(line->state))
+            panic("l1 %d: ensureX fill without write permission", id_);
+        line->accessWrite = true;
+        respond(op, line->data[wi]);
+        return;
+      case CacheOp::Kind::AtomicSwap:
+      case CacheOp::Kind::AtomicCas:
+      case CacheOp::Kind::AtomicAdd: {
+        if (!line || !isWritableState(line->state))
+            panic("l1 %d: atomic fill without write permission", id_);
+        std::uint64_t old = line->data[wi];
+        if (op.kind == CacheOp::Kind::AtomicAdd) {
+            line->data[wi] = old + op.data;
+            line->state = CohState::Modified;
+            clearLinkIf(lineAlign(op.addr));
+        } else if (op.kind == CacheOp::Kind::AtomicSwap ||
+                   old == op.expected) {
+            line->data[wi] = op.data;
+            line->state = CohState::Modified;
+            clearLinkIf(lineAlign(op.addr));
+        }
+        respond(op, old);
+        return;
+      }
+      case CacheOp::Kind::StoreCond:
+        if (line && isWritableState(line->state) && linkValid(op.addr)) {
+            line->data[wi] = op.data;
+            line->state = CohState::Modified;
+            linkValid_ = false;
+            respond(op, 1);
+        } else {
+            respond(op, 0);
+        }
+        return;
+    }
+}
+
+void
+L1Controller::dataResponse(const DataMsg &msg)
+{
+    auto it = mshrs_.find(msg.line);
+    if (it == mshrs_.end())
+        panic("l1 %d: data without MSHR line=%#llx", id_,
+              static_cast<unsigned long long>(msg.line));
+    Mshr m = std::move(it->second);
+    mshrs_.erase(it);
+
+    CacheLine *l = nullptr;
+    if (msg.grant == Grant::DontInstall || m.invalidateOnArrival) {
+        // Use the data for the pending op only (ordered before the
+        // overtaking write), do not cache it.
+        finishOp(m, nullptr, msg.data);
+    } else {
+        CohState st = CohState::Shared;
+        if (msg.grant == Grant::ExclusiveData && !m.downgradeToShared)
+            st = CohState::Exclusive;
+        else if (msg.grant == Grant::ModifiedData)
+            st = CohState::Modified;
+        l = installLine(msg.line, msg.data, st);
+        if (!m.loseOnArrival)
+            finishOp(m, l, msg.data);
+    }
+
+    if (m.op && m.op->spec)
+        hooks_.specMshrDrained(msg.line);
+
+    // Service or defer the requests recorded while we were the pending
+    // owner. `m.loseOnArrival` or a completed abort forces servicing.
+    // The disposition is all-or-nothing: servicing an early GetS while
+    // holding a later GetX hostage would downgrade us to Owned, which
+    // is not a retainable state — the per-line FIFO order is preserved
+    // either way because the deferred queue drains in order.
+    bool keepDeferring = hooks_.specActive() && m.spec && m.op &&
+                         !m.loseOnArrival && l &&
+                         isWritableState(l->state) &&
+                         (l->accessRead || l->accessWrite);
+    for (const Waiter &w : m.waiters) {
+        if (keepDeferring) {
+            deferred_.push_back({msg.line, w.cpu, w.type, w.ts});
+            l->pinned = true;
+        } else {
+            serviceWaiter(w, msg.line);
+        }
+    }
+
+    if (m.queuedOp) {
+        CacheOp q = *m.queuedOp;
+        eq_.scheduleIn(1, [this, q] { access(q); });
+    }
+    if (hooks_.specActive())
+        maybeArmYield();
+}
+
+void
+L1Controller::serviceWaiter(const Waiter &w, Addr line_addr)
+{
+    CacheLine *l = findLine(line_addr);
+    if (!l || !isOwnerState(l->state))
+        panic("l1 %d: servicing waiter for line %#llx without owned data",
+              id_, static_cast<unsigned long long>(line_addr));
+    DataMsg msg;
+    msg.line = line_addr;
+    msg.data = l->data;
+    msg.from = id_;
+    if (w.type == ReqType::GetS) {
+        msg.grant = Grant::SharedData;
+        if (l->state == CohState::Modified)
+            l->state = CohState::Owned;
+        else if (l->state == CohState::Exclusive)
+            l->state = CohState::Shared;
+    } else {
+        msg.grant = Grant::ModifiedData;
+        clearLinkIf(line_addr);
+        l->invalidate();
+        victim_.erase(line_addr);
+    }
+    net_.sendData(w.cpu, msg);
+}
+
+//
+// ---- TLR control messages ----------------------------------------------
+//
+
+void
+L1Controller::marker(const MarkerMsg &msg)
+{
+    auto it = mshrs_.find(msg.line);
+    if (it == mshrs_.end())
+        return; // the miss already completed; marker is stale
+    Mshr &m = it->second;
+    m.markerFrom = msg.from;
+    if (m.pendingProbe) {
+        net_.sendProbe(m.markerFrom, {msg.line, *m.pendingProbe, id_});
+        ++probesSent_;
+        m.pendingProbe.reset();
+    }
+    // Knowing the upstream neighbor may complete a two-party cycle
+    // (we hold its higher-priority request while waiting on it).
+    if (hooks_.specActive())
+        maybeArmYield();
+}
+
+void
+L1Controller::probe(const ProbeMsg &msg)
+{
+    Addr la = msg.line;
+    DTRACE(eq_.now(), "L1", "cpu%d probe line=%#llx %s from=%d spec=%d",
+           id_, static_cast<unsigned long long>(la), msg.ts.str().c_str(),
+           msg.from, hooks_.specActive() ? 1 : 0);
+
+    // Case 1: we hold the line inside our transaction — either
+    // already deferring requests for it, or the probe raced ahead of
+    // the conflicting request itself.
+    bool holdsDeferred = false;
+    for (const auto &d : deferred_)
+        if (d.line == la)
+            holdsDeferred = true;
+    if (CacheLine *l = findLine(la))
+        holdsDeferred |= isOwnerState(l->state) && l->inTransaction();
+    if (holdsDeferred && hooks_.specActive() && hooks_.tlrActive()) {
+        hooks_.noteConflictTs(msg.ts);
+        if (!winsConflict(msg.ts)) {
+            if (!hooks_.strictTimestamps()) {
+                // Remember the contender's priority: if our wait (or
+                // a future one) persists, the recovery timer enforces
+                // timestamp order; if we commit first, servicing the
+                // deferred queue satisfies the contender anyway.
+                auto it = probeHints_.find(la);
+                if (it == probeHints_.end() ||
+                    msg.ts.earlierThan(it->second))
+                    probeHints_[la] = msg.ts;
+                maybeArmYield();
+                return;
+            }
+            hooks_.conflictAbort(la, AbortReason::ProbeLost);
+        }
+        return;
+    }
+
+    // Case 2: pending owner in the chain: forward upstream.
+    auto it = mshrs_.find(la);
+    if (it != mshrs_.end() && it->second.ordered &&
+        it->second.isExclusive()) {
+        Mshr &m = it->second;
+        if (m.markerFrom != invalidCpu) {
+            net_.sendProbe(m.markerFrom, {la, msg.ts, id_});
+            ++probesSent_;
+        } else if (!m.pendingProbe || msg.ts.earlierThan(*m.pendingProbe)) {
+            m.pendingProbe = msg.ts;
+        }
+        if (m.spec && m.op && hooks_.specActive() &&
+            !winsConflict(msg.ts)) {
+            hooks_.noteConflictTs(msg.ts);
+            if (hooks_.tlrActive() && !hooks_.strictTimestamps()) {
+                // Remember the contender's priority for the recovery
+                // timer; it was already forwarded up the chain above.
+                auto it = probeHints_.find(la);
+                if (it == probeHints_.end() ||
+                    msg.ts.earlierThan(it->second))
+                    probeHints_[la] = msg.ts;
+                maybeArmYield();
+                return;
+            }
+            m.loseOnArrival = true;
+            hooks_.conflictAbort(la, AbortReason::ProbeLost);
+        }
+        return;
+    }
+    // Otherwise stale: the chain already drained.
+}
+
+//
+// ---- transaction boundary operations -----------------------------------
+//
+
+void
+L1Controller::commitTransaction(const WriteBuffer &wb)
+{
+    for (const auto &[la, entry] : wb.entries()) {
+        CacheLine *l = findLine(la);
+        if (!l || !isWritableState(l->state))
+            panic("l1 %d: commit without writable line %#llx", id_,
+                  static_cast<unsigned long long>(la));
+        for (unsigned w = 0; w < wordsPerLine; ++w)
+            if (entry.mask & (1u << w))
+                l->data[w] = entry.words[w];
+        l->state = CohState::Modified;
+    }
+    array_.forEachValid([](CacheLine &l) { l.clearAccess(); });
+    for (auto &v : victim_.entries())
+        v.clearAccess();
+    serviceDeferredQueue();
+}
+
+void
+L1Controller::abortTransaction()
+{
+    for (auto &[la, m] : mshrs_) {
+        (void)la;
+        if (m.op && m.op->spec)
+            m.op.reset();
+        if (m.queuedOp && m.queuedOp->spec)
+            m.queuedOp.reset();
+    }
+    array_.forEachValid([](CacheLine &l) { l.clearAccess(); });
+    for (auto &v : victim_.entries())
+        v.clearAccess();
+    serviceDeferredQueue();
+}
+
+void
+L1Controller::serviceDeferredQueue()
+{
+    while (!deferred_.empty()) {
+        DeferredReq d = deferred_.front();
+        deferred_.pop_front();
+        serviceWaiter({d.cpu, d.type, d.ts, false}, d.line);
+    }
+    probeHints_.clear();
+    yieldArmed_ = false;
+    ++yieldGen_;
+    array_.forEachValid([](CacheLine &l) { l.pinned = false; });
+    for (auto &v : victim_.entries())
+        v.pinned = false;
+}
+
+//
+// ---- queries ------------------------------------------------------------
+//
+
+unsigned
+L1Controller::outstandingSpecMisses() const
+{
+    unsigned n = 0;
+    for (const auto &[la, m] : mshrs_) {
+        (void)la;
+        // A queued re-issued op on an orphaned miss is still a real
+        // dependency: the transaction cannot finish until it fills.
+        if ((m.op && m.op->spec) || (m.queuedOp && m.queuedOp->spec))
+            ++n;
+    }
+    return n;
+}
+
+bool
+L1Controller::deferredHasEarlierThan(const Timestamp &ts) const
+{
+    for (const auto &d : deferred_) {
+        if (!d.ts.valid)
+            continue; // un-timestamped requests have lowest priority
+        if (d.ts.earlierThan(ts))
+            return true;
+    }
+    return false;
+}
+
+bool
+L1Controller::upgradeValid(Addr line) const
+{
+    const CacheLine *l = findLineConst(line);
+    return l && (l->state == CohState::Shared ||
+                 l->state == CohState::Owned);
+}
+
+bool
+L1Controller::linkValid(Addr addr) const
+{
+    return linkValid_ && linkLine_ == lineAlign(addr);
+}
+
+void
+L1Controller::markTransactionalRead(Addr addr)
+{
+    CacheLine *l = findLine(lineAlign(addr));
+    if (!l)
+        panic("l1 %d: markTransactionalRead on absent line %#llx", id_,
+              static_cast<unsigned long long>(addr));
+    l->accessRead = true;
+}
+
+void
+L1Controller::markTransactionalWrite(Addr addr)
+{
+    CacheLine *l = findLine(lineAlign(addr));
+    if (!l || !isWritableState(l->state))
+        panic("l1 %d: markTransactionalWrite needs a writable line "
+              "%#llx",
+              id_, static_cast<unsigned long long>(addr));
+    l->accessWrite = true;
+}
+
+void
+L1Controller::clearLinkIf(Addr line_addr)
+{
+    if (linkValid_ && linkLine_ == line_addr)
+        linkValid_ = false;
+}
+
+CohState
+L1Controller::lineState(Addr addr) const
+{
+    const CacheLine *l = findLineConst(lineAlign(addr));
+    return l ? l->state : CohState::Invalid;
+}
+
+std::string
+L1Controller::debugState() const
+{
+    std::string out;
+    for (const auto &[la, m] : mshrs_) {
+        out += strfmt("  l1 %d MSHR line=%#llx %s ordered=%d spec=%d "
+                      "op=%d queued=%d lose=%d ownPassed=%d marker=%d "
+                      "waiters=[",
+                      id_, static_cast<unsigned long long>(la),
+                      reqTypeName(m.type), m.ordered ? 1 : 0,
+                      m.spec ? 1 : 0, m.op ? 1 : 0, m.queuedOp ? 1 : 0,
+                      m.loseOnArrival ? 1 : 0, m.ownershipPassed ? 1 : 0,
+                      m.markerFrom);
+        for (const Waiter &w : m.waiters)
+            out += strfmt("%d(%s,%s,def=%d) ", w.cpu,
+                          reqTypeName(w.type), w.ts.str().c_str(),
+                          w.deferred ? 1 : 0);
+        out += "]\n";
+    }
+    for (const auto &d : deferred_)
+        out += strfmt("  l1 %d DEFERRED line=%#llx cpu=%d %s %s\n", id_,
+                      static_cast<unsigned long long>(d.line), d.cpu,
+                      reqTypeName(d.type), d.ts.str().c_str());
+    return out;
+}
+
+std::uint64_t
+L1Controller::peekWord(Addr addr) const
+{
+    const CacheLine *l = findLineConst(lineAlign(addr));
+    return l ? l->data[wordIndex(addr)] : 0;
+}
+
+} // namespace tlr

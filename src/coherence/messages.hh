@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Coherence protocol message definitions.
+ *
+ * The address network carries BusRequests (ordered, broadcast). The
+ * data network carries DataMsg (point-to-point) plus the two TLR
+ * control messages: markers (tell a pending owner who its upstream
+ * neighbor is) and probes (propagate a high-priority conflict up a
+ * coherence ownership chain) — paper Section 3.1.1.
+ */
+
+#ifndef TLR_COHERENCE_MESSAGES_HH
+#define TLR_COHERENCE_MESSAGES_HH
+
+#include <cstdint>
+
+#include "core/timestamp.hh"
+#include "mem/line.hh"
+#include "sim/types.hh"
+
+namespace tlr
+{
+
+enum class ReqType : std::uint8_t
+{
+    GetS,      ///< read, want at least Shared
+    GetX,      ///< read-for-ownership (rd_X), want Modified
+    Upgrade,   ///< Shared -> Modified, no data needed
+    WriteBack, ///< eviction of dirty line to memory
+};
+
+const char *reqTypeName(ReqType t);
+
+/** An address-network transaction. */
+struct BusRequest
+{
+    ReqType type = ReqType::GetS;
+    Addr line = 0;                ///< line-aligned address
+    CpuId requester = invalidCpu;
+    Timestamp ts;                 ///< valid iff issued inside a transaction
+    std::uint64_t sn = 0;         ///< global serial number (trace/debug)
+};
+
+/** Coherence permission granted along with a data response. */
+enum class Grant : std::uint8_t
+{
+    SharedData,    ///< install Shared
+    ExclusiveData, ///< install Exclusive (clean, no other sharers)
+    ModifiedData,  ///< install Modified (ownership transferred)
+    UpgradeAck,    ///< no data: Shared copy becomes Modified
+    DontInstall,   ///< use data for the pending op but do not cache
+};
+
+/** Point-to-point data network message. */
+struct DataMsg
+{
+    Addr line = 0;
+    LineData data{};
+    Grant grant = Grant::SharedData;
+    CpuId from = invalidCpu; ///< invalidCpu == memory controller
+};
+
+/** TLR marker: "I hold (or will hold) the data you are waiting for". */
+struct MarkerMsg
+{
+    Addr line = 0;
+    CpuId from = invalidCpu;
+};
+
+/** TLR probe: an earlier-timestamp request exists downstream. */
+struct ProbeMsg
+{
+    Addr line = 0;
+    Timestamp ts;    ///< timestamp of the high-priority contender
+    CpuId from = invalidCpu;
+};
+
+} // namespace tlr
+
+#endif // TLR_COHERENCE_MESSAGES_HH

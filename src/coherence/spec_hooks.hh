@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Interface between the L1 coherence controller and the SLE/TLR
+ * speculation engine.
+ *
+ * The paper places TLR's concurrency-control decisions at the
+ * coherence controller while the transaction state machine (elision
+ * stack, checkpoint, write buffer, timestamp management) lives next
+ * to the processor. This interface is that boundary: the controller
+ * asks the engine for policy (mode, timestamp, conflict outcome) and
+ * reports completions; the engine drives the controller through the
+ * L1Controller public API.
+ */
+
+#ifndef TLR_COHERENCE_SPEC_HOOKS_HH
+#define TLR_COHERENCE_SPEC_HOOKS_HH
+
+#include <cstdint>
+
+#include "core/timestamp.hh"
+#include "sim/types.hh"
+
+namespace tlr
+{
+
+/** Why a transaction had to restart or fall back. */
+enum class AbortReason
+{
+    ConflictLost,        ///< lost a timestamp conflict
+    SharedInvalidation,  ///< upgrade-type invalidation of a Shared block
+    ProbeLost,           ///< probe carried an earlier timestamp
+    PendingInvalidated,  ///< transactional read invalidated before data
+    ResourceVictimFull,  ///< victim cache could not hold an eviction
+    ResourceWriteBuffer, ///< too many unique lines written
+    ResourceStructural,  ///< no allocatable way in the cache set
+    Unbufferable,        ///< I/O-like operation inside the region
+    Preempted,           ///< thread de-scheduled by the OS (paper §4)
+    QuantumExpired,      ///< region exceeded the max duration (paper
+                         ///< §3.3: a critical section must fit in one
+                         ///< scheduling quantum)
+};
+
+const char *abortReasonName(AbortReason r);
+
+/** Operations the speculation engine issues to the L1 controller. */
+struct CacheOp
+{
+    enum class Kind
+    {
+        LoadShared,      ///< read, Shared suffices
+        LoadExclusive,   ///< read issued as rd_X (RMW predictor hit)
+        Store,           ///< non-speculative store
+        EnsureExclusive, ///< speculative store: permissions only
+        StoreCond,       ///< non-speculative store-conditional
+        AtomicSwap,      ///< non-speculative atomic swap
+        AtomicCas,       ///< non-speculative atomic compare-and-swap
+        AtomicAdd,       ///< non-speculative atomic fetch-and-add
+    };
+
+    Kind kind = Kind::LoadShared;
+    Addr addr = 0;
+    std::uint64_t data = 0;
+    std::uint64_t expected = 0; ///< AtomicCas comparison value
+    bool spec = false;  ///< issued from inside a transaction
+    bool isLl = false;  ///< set the link register on completion
+    int pc = 0;
+    std::uint64_t token = 0; ///< engine-issued id for stale filtering
+};
+
+class SpecHooks
+{
+  public:
+    virtual ~SpecHooks() = default;
+
+    /** @{ Policy queries made by the controller on snoops. */
+    virtual bool specActive() const = 0;
+    virtual bool tlrActive() const = 0;
+    virtual Timestamp currentTs() const = 0;
+    virtual bool strictTimestamps() const = 0;
+    virtual bool deferUntimestamped() const = 0;
+    /** @} */
+
+    /** Record an incoming conflicting timestamp (clock update rule). */
+    virtual void noteConflictTs(const Timestamp &ts) = 0;
+
+    /**
+     * The transaction lost a conflict (or hit an un-deferrable one).
+     * The engine must restore the core, discard the write buffer and
+     * call L1Controller::abortTransaction() before returning, so the
+     * controller can service the conflicting request afterwards.
+     */
+    virtual void conflictAbort(Addr line_addr, AbortReason reason) = 0;
+
+    /**
+     * A resource constraint makes speculation impossible (paper
+     * Fig. 3: "if insufficient resources, acquire lock"). Semantics
+     * as conflictAbort, plus the engine disables elision for the
+     * re-executed acquire so the lock is really taken.
+     */
+    virtual void resourceAbort(Addr line_addr, AbortReason reason) = 0;
+
+    /** A speculative miss completed (commit-wait bookkeeping). */
+    virtual void specMshrDrained(Addr line_addr) = 0;
+
+    /** A cache operation previously passed to access() finished.
+     *  @p value is the load result / SC success flag. */
+    virtual void cacheOpDone(const CacheOp &op, std::uint64_t value) = 0;
+};
+
+} // namespace tlr
+
+#endif // TLR_COHERENCE_SPEC_HOOKS_HH

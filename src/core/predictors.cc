@@ -1,0 +1,80 @@
+#include "core/predictors.hh"
+
+#include <algorithm>
+
+namespace tlr
+{
+
+SilentPairPredictor::Entry &
+SilentPairPredictor::lookup(int pc)
+{
+    auto it = table_.find(pc);
+    if (it == table_.end()) {
+        if (table_.size() >= capacity_) {
+            // Evict the least recently used entry.
+            auto victim = table_.begin();
+            for (auto i = table_.begin(); i != table_.end(); ++i)
+                if (i->second.lastUse < victim->second.lastUse)
+                    victim = i;
+            table_.erase(victim);
+        }
+        it = table_.emplace(pc, Entry{}).first;
+    }
+    it->second.lastUse = ++useTick_;
+    return it->second;
+}
+
+bool
+SilentPairPredictor::shouldElide(int pc)
+{
+    Entry &e = lookup(pc);
+    if (e.conf > 0)
+        return true;
+    // Blocked: periodically probe in case the region shrank.
+    return ++e.blockedTries % 16 == 0;
+}
+
+void
+SilentPairPredictor::reward(int pc)
+{
+    Entry &e = lookup(pc);
+    e.conf = std::min(e.conf + 1, 3);
+    e.blockedTries = 0;
+}
+
+void
+SilentPairPredictor::penalize(int pc)
+{
+    Entry &e = lookup(pc);
+    e.conf = std::max(e.conf - 2, 0);
+}
+
+void
+RmwPredictor::observeLoad(int pc, Addr addr)
+{
+    recent_.push_front({pc, addr});
+    if (recent_.size() > window_)
+        recent_.pop_back();
+}
+
+void
+RmwPredictor::observeStore(Addr addr)
+{
+    for (const auto &rl : recent_) {
+        if (rl.addr == addr) {
+            if (table_.size() >= capacity_ && !table_.count(rl.pc))
+                return; // table full; do not learn new PCs
+            table_[rl.pc] = true;
+            return;
+        }
+    }
+}
+
+bool
+RmwPredictor::predictExclusive(int pc) const
+{
+    auto it = table_.find(pc);
+    return it != table_.end() && it->second;
+}
+
+} // namespace tlr

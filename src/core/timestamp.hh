@@ -1,0 +1,64 @@
+/**
+ * @file
+ * TLR timestamps (paper Section 2.1.2).
+ *
+ * A timestamp is (local logical clock, processor id). Clocks count
+ * successful TLR executions on a processor; ties between processors
+ * break on the id, making timestamps globally unique. Earlier
+ * timestamp = higher priority: that transaction wins every conflict.
+ */
+
+#ifndef TLR_CORE_TIMESTAMP_HH
+#define TLR_CORE_TIMESTAMP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace tlr
+{
+
+struct Timestamp
+{
+    std::uint64_t clock = 0;
+    CpuId cpu = invalidCpu;
+    bool valid = false; ///< false => request from outside any transaction
+
+    static Timestamp
+    make(std::uint64_t clock, CpuId cpu)
+    {
+        return Timestamp{clock, cpu, true};
+    }
+
+    /**
+     * True when *this has higher priority than @p other.
+     * An invalid (un-timestamped) request is treated as having the
+     * latest timestamp in the system, i.e., the lowest priority
+     * (paper Section 2.2, deferrable un-timestamped requests).
+     */
+    bool
+    earlierThan(const Timestamp &other) const
+    {
+        if (!valid)
+            return false;
+        if (!other.valid)
+            return true;
+        if (clock != other.clock)
+            return clock < other.clock;
+        return cpu < other.cpu;
+    }
+
+    std::string
+    str() const
+    {
+        if (!valid)
+            return "ts<none>";
+        return "ts<" + std::to_string(clock) + "," + std::to_string(cpu) +
+               ">";
+    }
+};
+
+} // namespace tlr
+
+#endif // TLR_CORE_TIMESTAMP_HH

@@ -1,0 +1,60 @@
+#include "cpu/isa.hh"
+
+#include "sim/logging.hh"
+
+namespace tlr
+{
+
+namespace
+{
+
+const char *
+mnemonic(Opcode op)
+{
+    switch (op) {
+      case Opcode::Li: return "li";
+      case Opcode::Mov: return "mov";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Addi: return "addi";
+      case Opcode::Slli: return "slli";
+      case Opcode::Srli: return "srli";
+      case Opcode::Slt: return "slt";
+      case Opcode::Seq: return "seq";
+      case Opcode::Andi: return "andi";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Ld: return "ld";
+      case Opcode::St: return "st";
+      case Opcode::Ll: return "ll";
+      case Opcode::Sc: return "sc";
+      case Opcode::Amoswap: return "amoswap";
+      case Opcode::Amocas: return "amocas";
+      case Opcode::Amoadd: return "amoadd";
+      case Opcode::Rnd: return "rnd";
+      case Opcode::Delay: return "delay";
+      case Opcode::Io: return "io";
+      case Opcode::Nop: return "nop";
+      case Opcode::Halt: return "halt";
+    }
+    return "???";
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &inst)
+{
+    return strfmt("%-5s rd=r%d rs1=r%d rs2=r%d imm=%lld", mnemonic(inst.op),
+                  inst.rd, inst.rs1, inst.rs2,
+                  static_cast<long long>(inst.imm));
+}
+
+} // namespace tlr

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The mini RISC instruction set executed by simulated cores.
+ *
+ * Workloads (including the lock acquire/release code itself) are
+ * written in this ISA, so the SLE/TLR hardware observes genuine
+ * dynamic store streams — exactly the interface the paper's hardware
+ * sees. 32 general registers, r0 hardwired to zero, 64-bit words.
+ */
+
+#ifndef TLR_CPU_ISA_HH
+#define TLR_CPU_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace tlr
+{
+
+/** Register index. r0 always reads as zero; writes to it are ignored. */
+using Reg = int;
+constexpr int numRegs = 32;
+
+enum class Opcode : std::uint8_t
+{
+    // ALU: rd <- rs1 op rs2 (or imm for the I-forms)
+    Li,       ///< rd <- imm
+    Mov,      ///< rd <- rs1
+    Add, Sub, Mul, And, Or, Xor,
+    Addi,     ///< rd <- rs1 + imm
+    Slli,     ///< rd <- rs1 << imm
+    Srli,     ///< rd <- rs1 >> imm
+    Slt,      ///< rd <- (rs1 < rs2) signed
+    Seq,      ///< rd <- (rs1 == rs2)
+    Andi,     ///< rd <- rs1 & imm
+
+    // Control: target held in imm (resolved instruction index)
+    Beq,      ///< if rs1 == rs2 goto imm
+    Bne,      ///< if rs1 != rs2 goto imm
+    Blt,      ///< if rs1 <  rs2 goto imm (signed)
+    Bge,      ///< if rs1 >= rs2 goto imm (signed)
+    Jmp,      ///< goto imm
+
+    // Memory: address is rs1 + imm, 8-byte aligned
+    Ld,       ///< rd <- mem[rs1 + imm]
+    St,       ///< mem[rs1 + imm] <- rs2
+    Ll,       ///< load-linked:  rd <- mem[rs1 + imm], set link
+    Sc,       ///< store-conditional: mem[rs1+imm] <- rs2; rd <- success
+    Amoswap,  ///< atomic: rd <- mem[rs1+imm]; mem[rs1+imm] <- rs2
+    Amocas,   ///< atomic: if mem == rd then mem <- rs2; rd <- old mem
+    Amoadd,   ///< atomic: rd <- mem[rs1+imm]; mem[rs1+imm] <- rd + rs2
+
+    // Miscellaneous
+    Rnd,      ///< rd <- uniform[0, rs1] from the per-thread RNG
+    Delay,    ///< stall rs1 cycles (models local compute / backoff)
+    Io,       ///< unbufferable operation: forces SLE/TLR fallback
+    Nop,
+    Halt,     ///< thread complete
+};
+
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    Reg rd = 0;
+    Reg rs1 = 0;
+    Reg rs2 = 0;
+    std::int64_t imm = 0;
+
+    bool
+    isAtomic() const
+    {
+        return op == Opcode::Amoswap || op == Opcode::Amocas ||
+               op == Opcode::Amoadd;
+    }
+    bool
+    isMem() const
+    {
+        return op == Opcode::Ld || op == Opcode::St || op == Opcode::Ll ||
+               op == Opcode::Sc || isAtomic();
+    }
+    bool isStore() const { return op == Opcode::St || op == Opcode::Sc; }
+    bool isLoad() const { return op == Opcode::Ld || op == Opcode::Ll; }
+};
+
+/** Human-readable rendering for traces and error messages. */
+std::string disassemble(const Instruction &inst);
+
+} // namespace tlr
+
+#endif // TLR_CPU_ISA_HH

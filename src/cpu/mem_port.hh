@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Core-side memory interface.
+ *
+ * The core issues one CoreMemOp at a time and blocks until the port
+ * calls back. Requests carry a generation number so a response that
+ * arrives after a misspeculation restart is recognized as stale and
+ * dropped by the core.
+ */
+
+#ifndef TLR_CPU_MEM_PORT_HH
+#define TLR_CPU_MEM_PORT_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace tlr
+{
+
+struct CoreMemOp
+{
+    enum class Type
+    {
+        Load,
+        Store,
+        LoadLinked,
+        StoreCond,
+        AtomicSwap, ///< rd <- old; mem <- data
+        AtomicCas,  ///< rd <- old; mem <- data iff old == expected
+        AtomicAdd,  ///< rd <- old; mem <- old + data
+    };
+
+    Type type = Type::Load;
+    Addr addr = 0;
+    std::uint64_t data = 0;     ///< store payload / atomic new value
+    std::uint64_t expected = 0; ///< AtomicCas comparison value
+    int pc = 0;               ///< issuing instruction index (predictors)
+    std::uint64_t gen = 0;    ///< core wait-generation (stale filtering)
+
+    bool
+    isWrite() const
+    {
+        return type == Type::Store || type == Type::StoreCond ||
+               type == Type::AtomicSwap || type == Type::AtomicCas ||
+               type == Type::AtomicAdd;
+    }
+};
+
+struct MemResponse
+{
+    std::uint64_t value = 0;  ///< load result / SC success flag
+    std::uint64_t gen = 0;    ///< echoes CoreMemOp::gen
+};
+
+/** Anything a core can issue memory operations to. */
+class MemPort
+{
+  public:
+    virtual ~MemPort() = default;
+    /** Begin a memory operation; completion arrives via the core's
+     *  memResponse(). At most one operation outstanding per core. */
+    virtual void request(const CoreMemOp &op) = 0;
+
+    /** Unbufferable (I/O-like) operation executed by @p cpu. The
+     *  speculation engine overrides this to force a fallback, since
+     *  such operations cannot be undone (paper Fig. 3, step 3). */
+    virtual void io(CpuId cpu) { (void)cpu; }
+};
+
+} // namespace tlr
+
+#endif // TLR_CPU_MEM_PORT_HH

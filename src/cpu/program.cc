@@ -1,0 +1,272 @@
+#include "cpu/program.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace tlr
+{
+
+int
+Program::labelPc(const std::string &label) const
+{
+    auto it = labels_.find(label);
+    if (it == labels_.end())
+        fatal("unknown label '%s'", label.c_str());
+    return it->second;
+}
+
+std::string
+Program::disassembleAll() const
+{
+    std::ostringstream os;
+    std::map<int, std::string> byPc;
+    for (const auto &[name, pc] : labels_)
+        byPc[pc] += name + ": ";
+    for (int pc = 0; pc < size(); ++pc) {
+        auto it = byPc.find(pc);
+        if (it != byPc.end())
+            os << it->second << "\n";
+        os << "  " << pc << ": " << disassemble(code_[pc]) << "\n";
+    }
+    return os.str();
+}
+
+ProgramBuilder &
+ProgramBuilder::emit(Instruction inst)
+{
+    code_.push_back(inst);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::emitBranch(Opcode op, Reg rs1, Reg rs2,
+                           const std::string &target)
+{
+    fixups_.emplace_back(here(), target);
+    return emit({op, 0, rs1, rs2, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::label(const std::string &name)
+{
+    if (labels_.count(name))
+        fatal("duplicate label '%s'", name.c_str());
+    labels_[name] = here();
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::li(Reg rd, std::int64_t imm)
+{
+    return emit({Opcode::Li, rd, 0, 0, imm});
+}
+
+ProgramBuilder &
+ProgramBuilder::mov(Reg rd, Reg rs1)
+{
+    return emit({Opcode::Mov, rd, rs1, 0, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::add(Reg rd, Reg rs1, Reg rs2)
+{
+    return emit({Opcode::Add, rd, rs1, rs2, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::sub(Reg rd, Reg rs1, Reg rs2)
+{
+    return emit({Opcode::Sub, rd, rs1, rs2, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::mul(Reg rd, Reg rs1, Reg rs2)
+{
+    return emit({Opcode::Mul, rd, rs1, rs2, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::and_(Reg rd, Reg rs1, Reg rs2)
+{
+    return emit({Opcode::And, rd, rs1, rs2, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::or_(Reg rd, Reg rs1, Reg rs2)
+{
+    return emit({Opcode::Or, rd, rs1, rs2, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::xor_(Reg rd, Reg rs1, Reg rs2)
+{
+    return emit({Opcode::Xor, rd, rs1, rs2, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::addi(Reg rd, Reg rs1, std::int64_t imm)
+{
+    return emit({Opcode::Addi, rd, rs1, 0, imm});
+}
+
+ProgramBuilder &
+ProgramBuilder::slli(Reg rd, Reg rs1, std::int64_t imm)
+{
+    return emit({Opcode::Slli, rd, rs1, 0, imm});
+}
+
+ProgramBuilder &
+ProgramBuilder::srli(Reg rd, Reg rs1, std::int64_t imm)
+{
+    return emit({Opcode::Srli, rd, rs1, 0, imm});
+}
+
+ProgramBuilder &
+ProgramBuilder::andi(Reg rd, Reg rs1, std::int64_t imm)
+{
+    return emit({Opcode::Andi, rd, rs1, 0, imm});
+}
+
+ProgramBuilder &
+ProgramBuilder::slt(Reg rd, Reg rs1, Reg rs2)
+{
+    return emit({Opcode::Slt, rd, rs1, rs2, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::seq(Reg rd, Reg rs1, Reg rs2)
+{
+    return emit({Opcode::Seq, rd, rs1, rs2, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::beq(Reg rs1, Reg rs2, const std::string &target)
+{
+    return emitBranch(Opcode::Beq, rs1, rs2, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::bne(Reg rs1, Reg rs2, const std::string &target)
+{
+    return emitBranch(Opcode::Bne, rs1, rs2, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::blt(Reg rs1, Reg rs2, const std::string &target)
+{
+    return emitBranch(Opcode::Blt, rs1, rs2, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::bge(Reg rs1, Reg rs2, const std::string &target)
+{
+    return emitBranch(Opcode::Bge, rs1, rs2, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::jmp(const std::string &target)
+{
+    return emitBranch(Opcode::Jmp, 0, 0, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::ld(Reg rd, Reg rs1, std::int64_t imm)
+{
+    return emit({Opcode::Ld, rd, rs1, 0, imm});
+}
+
+ProgramBuilder &
+ProgramBuilder::st(Reg rs2, Reg rs1, std::int64_t imm)
+{
+    return emit({Opcode::St, 0, rs1, rs2, imm});
+}
+
+ProgramBuilder &
+ProgramBuilder::ll(Reg rd, Reg rs1, std::int64_t imm)
+{
+    return emit({Opcode::Ll, rd, rs1, 0, imm});
+}
+
+ProgramBuilder &
+ProgramBuilder::sc(Reg rd, Reg rs2, Reg rs1, std::int64_t imm)
+{
+    return emit({Opcode::Sc, rd, rs1, rs2, imm});
+}
+
+ProgramBuilder &
+ProgramBuilder::amoswap(Reg rd, Reg rs2, Reg rs1, std::int64_t imm)
+{
+    return emit({Opcode::Amoswap, rd, rs1, rs2, imm});
+}
+
+ProgramBuilder &
+ProgramBuilder::amocas(Reg rd, Reg rs2, Reg rs1, std::int64_t imm)
+{
+    return emit({Opcode::Amocas, rd, rs1, rs2, imm});
+}
+
+ProgramBuilder &
+ProgramBuilder::amoadd(Reg rd, Reg rs2, Reg rs1, std::int64_t imm)
+{
+    return emit({Opcode::Amoadd, rd, rs1, rs2, imm});
+}
+
+ProgramBuilder &
+ProgramBuilder::rnd(Reg rd, Reg bound)
+{
+    return emit({Opcode::Rnd, rd, bound, 0, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::delay(Reg cycles)
+{
+    return emit({Opcode::Delay, 0, cycles, 0, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::delayImm(std::int64_t cycles, Reg scratch)
+{
+    li(scratch, cycles);
+    return delay(scratch);
+}
+
+ProgramBuilder &
+ProgramBuilder::io()
+{
+    return emit({Opcode::Io, 0, 0, 0, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::nop()
+{
+    return emit({Opcode::Nop, 0, 0, 0, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::halt()
+{
+    return emit({Opcode::Halt, 0, 0, 0, 0});
+}
+
+std::string
+ProgramBuilder::uniqueLabel(const std::string &stem)
+{
+    return stem + "$" + std::to_string(uniqueCounter_++);
+}
+
+ProgramPtr
+ProgramBuilder::build()
+{
+    for (const auto &[pc, target] : fixups_) {
+        auto it = labels_.find(target);
+        if (it == labels_.end())
+            fatal("branch at %d to undefined label '%s'", pc,
+                  target.c_str());
+        code_[pc].imm = it->second;
+    }
+    fixups_.clear();
+    return std::make_shared<const Program>(code_, labels_);
+}
+
+} // namespace tlr

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Programs and the assembler DSL used to build them from C++.
+ *
+ * A Program is an immutable instruction vector plus label metadata.
+ * ProgramBuilder provides mnemonic methods with forward-reference
+ * label resolution so workload generators read like assembly listings.
+ */
+
+#ifndef TLR_CPU_PROGRAM_HH
+#define TLR_CPU_PROGRAM_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/isa.hh"
+
+namespace tlr
+{
+
+class Program
+{
+  public:
+    Program(std::vector<Instruction> code,
+            std::map<std::string, int> labels)
+        : code_(std::move(code)), labels_(std::move(labels))
+    {}
+
+    const Instruction &at(int pc) const { return code_[pc]; }
+    int size() const { return static_cast<int>(code_.size()); }
+    /** Instruction index of @p label; fatal if unknown. */
+    int labelPc(const std::string &label) const;
+    std::string disassembleAll() const;
+
+  private:
+    std::vector<Instruction> code_;
+    std::map<std::string, int> labels_;
+};
+
+using ProgramPtr = std::shared_ptr<const Program>;
+
+/**
+ * Fluent assembler. Branch targets may name labels defined later;
+ * build() resolves them and fails fast on dangling references.
+ */
+class ProgramBuilder
+{
+  public:
+    ProgramBuilder &label(const std::string &name);
+
+    ProgramBuilder &li(Reg rd, std::int64_t imm);
+    ProgramBuilder &mov(Reg rd, Reg rs1);
+    ProgramBuilder &add(Reg rd, Reg rs1, Reg rs2);
+    ProgramBuilder &sub(Reg rd, Reg rs1, Reg rs2);
+    ProgramBuilder &mul(Reg rd, Reg rs1, Reg rs2);
+    ProgramBuilder &and_(Reg rd, Reg rs1, Reg rs2);
+    ProgramBuilder &or_(Reg rd, Reg rs1, Reg rs2);
+    ProgramBuilder &xor_(Reg rd, Reg rs1, Reg rs2);
+    ProgramBuilder &addi(Reg rd, Reg rs1, std::int64_t imm);
+    ProgramBuilder &slli(Reg rd, Reg rs1, std::int64_t imm);
+    ProgramBuilder &srli(Reg rd, Reg rs1, std::int64_t imm);
+    ProgramBuilder &andi(Reg rd, Reg rs1, std::int64_t imm);
+    ProgramBuilder &slt(Reg rd, Reg rs1, Reg rs2);
+    ProgramBuilder &seq(Reg rd, Reg rs1, Reg rs2);
+
+    ProgramBuilder &beq(Reg rs1, Reg rs2, const std::string &target);
+    ProgramBuilder &bne(Reg rs1, Reg rs2, const std::string &target);
+    ProgramBuilder &blt(Reg rs1, Reg rs2, const std::string &target);
+    ProgramBuilder &bge(Reg rs1, Reg rs2, const std::string &target);
+    ProgramBuilder &jmp(const std::string &target);
+
+    ProgramBuilder &ld(Reg rd, Reg rs1, std::int64_t imm = 0);
+    ProgramBuilder &st(Reg rs2, Reg rs1, std::int64_t imm = 0);
+    ProgramBuilder &ll(Reg rd, Reg rs1, std::int64_t imm = 0);
+    ProgramBuilder &sc(Reg rd, Reg rs2, Reg rs1, std::int64_t imm = 0);
+    /** Atomic swap: rd <- old mem value; mem <- rs2. */
+    ProgramBuilder &amoswap(Reg rd, Reg rs2, Reg rs1,
+                            std::int64_t imm = 0);
+    /** Atomic compare-and-swap: expected in rd (replaced by the old
+     *  memory value); mem <- rs2 iff old == expected. */
+    ProgramBuilder &amocas(Reg rd, Reg rs2, Reg rs1,
+                           std::int64_t imm = 0);
+    /** Atomic fetch-and-add: rd <- old mem value; mem <- old + rs2. */
+    ProgramBuilder &amoadd(Reg rd, Reg rs2, Reg rs1,
+                           std::int64_t imm = 0);
+
+    ProgramBuilder &rnd(Reg rd, Reg bound);
+    ProgramBuilder &delay(Reg cycles);
+    ProgramBuilder &delayImm(std::int64_t cycles, Reg scratch);
+    ProgramBuilder &io();
+    ProgramBuilder &nop();
+    ProgramBuilder &halt();
+
+    /** Unique label name for generated control flow. */
+    std::string uniqueLabel(const std::string &stem);
+
+    int here() const { return static_cast<int>(code_.size()); }
+
+    ProgramPtr build();
+
+  private:
+    ProgramBuilder &emit(Instruction inst);
+    ProgramBuilder &emitBranch(Opcode op, Reg rs1, Reg rs2,
+                               const std::string &target);
+
+    std::vector<Instruction> code_;
+    std::map<std::string, int> labels_;
+    std::vector<std::pair<int, std::string>> fixups_;
+    int uniqueCounter_ = 0;
+};
+
+} // namespace tlr
+
+#endif // TLR_CPU_PROGRAM_HH

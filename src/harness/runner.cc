@@ -1,0 +1,58 @@
+#include "harness/runner.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace tlr
+{
+
+RunStats
+runWorkload(const MachineParams &mp, const Workload &wl)
+{
+    System sys(mp);
+    installWorkload(sys, wl);
+    RunStats r;
+    r.completed = sys.run();
+    r.valid = wl.validate ? wl.validate(sys) : true;
+    r.cycles = sys.completionTick();
+
+    const StatSet &s = sys.stats();
+    r.commits = s.sum("spec", "commits");
+    r.elisions = s.sum("spec", "elisions");
+    r.restarts = s.sum("spec", "restarts");
+    r.fallbacks = s.sum("spec", "fallbacks");
+    r.defers = s.sum("l1_", "defers");
+    r.relaxedDefers = s.sum("l1_", "relaxedDefers");
+    r.busTransactions = s.get("bus", "transactions");
+    r.markerMsgs = s.get("net", "markerMsgs");
+    r.probeMsgs = s.get("net", "probeMsgs");
+    r.l1Misses = s.sum("l1_", "misses");
+    r.writeBufferAborts = s.sum("spec", "abort.write-buffer-full");
+    r.lockCycles = s.sum("core", "lockCycles");
+    r.dataStallCycles = s.sum("core", "dataStallCycles");
+    r.busyCycles = s.sum("core", "busyCycles");
+    return r;
+}
+
+RunStats
+runScheme(Scheme scheme, int num_cpus, const Workload &wl, Tick max_ticks)
+{
+    MachineParams mp;
+    mp.numCpus = num_cpus;
+    mp.spec = schemeSpecConfig(scheme);
+    mp.maxTicks = max_ticks;
+    return runWorkload(mp, wl);
+}
+
+std::uint64_t
+envScale()
+{
+    const char *s = std::getenv("TLR_SCALE");
+    if (!s)
+        return 1;
+    long v = std::atol(s);
+    return v > 0 ? static_cast<std::uint64_t>(v) : 1;
+}
+
+} // namespace tlr

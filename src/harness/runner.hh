@@ -1,0 +1,65 @@
+/**
+ * @file
+ * One-shot experiment runner: builds a system, installs a workload,
+ * runs it to completion and collects the metrics the paper reports.
+ */
+
+#ifndef TLR_HARNESS_RUNNER_HH
+#define TLR_HARNESS_RUNNER_HH
+
+#include <cstdint>
+
+#include "harness/scheme.hh"
+#include "harness/system.hh"
+#include "workloads/workload.hh"
+
+namespace tlr
+{
+
+/** Metrics gathered from one simulation run. */
+struct RunStats
+{
+    bool completed = false; ///< all cores halted before maxTicks
+    bool valid = false;     ///< workload validation passed
+    Tick cycles = 0;        ///< parallel execution time (paper y-axes)
+
+    std::uint64_t commits = 0;
+    std::uint64_t elisions = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t fallbacks = 0;
+    std::uint64_t defers = 0;
+    std::uint64_t relaxedDefers = 0;
+    std::uint64_t busTransactions = 0;
+    std::uint64_t markerMsgs = 0;
+    std::uint64_t probeMsgs = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t writeBufferAborts = 0;
+
+    /** Per-cpu time integrals for the Figure 11 breakdown. */
+    std::uint64_t lockCycles = 0;     ///< stalls on lock variables
+    std::uint64_t dataStallCycles = 0;
+    std::uint64_t busyCycles = 0;
+
+    /** Fraction of aggregate cpu time spent on lock accesses. */
+    double
+    lockFraction(int num_cpus) const
+    {
+        double total = static_cast<double>(cycles) * num_cpus;
+        return total > 0 ? static_cast<double>(lockCycles) / total : 0.0;
+    }
+};
+
+/** Run @p wl on a machine configured by @p mp. */
+RunStats runWorkload(const MachineParams &mp, const Workload &wl);
+
+/** Convenience: configure the machine for @p scheme and run. */
+RunStats runScheme(Scheme scheme, int num_cpus, const Workload &wl,
+                   Tick max_ticks = 2'000'000'000ull);
+
+/** Workload-scale multiplier from the TLR_SCALE environment variable
+ *  (default 1): lets users regenerate paper-sized runs. */
+std::uint64_t envScale();
+
+} // namespace tlr
+
+#endif // TLR_HARNESS_RUNNER_HH

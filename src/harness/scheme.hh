@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The four evaluated configurations of the paper (Section 5), plus the
+ * TLR-strict-ts variant of Figure 9.
+ */
+
+#ifndef TLR_HARNESS_SCHEME_HH
+#define TLR_HARNESS_SCHEME_HH
+
+#include <string>
+
+#include "core/spec_engine.hh"
+#include "sync/lock_progs.hh"
+
+namespace tlr
+{
+
+enum class Scheme
+{
+    Base,        ///< test&test&set locks, no speculation
+    BaseSle,     ///< + Speculative Lock Elision
+    BaseSleTlr,  ///< + Transactional Lock Removal (this paper)
+    TlrStrictTs, ///< TLR without the Section 3.2 relaxation
+    Mcs,         ///< MCS software queue locks
+};
+
+inline const char *
+schemeName(Scheme s)
+{
+    switch (s) {
+      case Scheme::Base: return "BASE";
+      case Scheme::BaseSle: return "BASE+SLE";
+      case Scheme::BaseSleTlr: return "BASE+SLE+TLR";
+      case Scheme::TlrStrictTs: return "BASE+SLE+TLR-strict-ts";
+      case Scheme::Mcs: return "MCS";
+    }
+    return "?";
+}
+
+inline LockKind
+schemeLockKind(Scheme s)
+{
+    return s == Scheme::Mcs ? LockKind::Mcs
+                            : LockKind::TestAndTestAndSet;
+}
+
+/** Speculation configuration for a scheme. The RMW predictor is on
+ *  for every scheme, as in the paper's experiments. */
+inline SpecConfig
+schemeSpecConfig(Scheme s)
+{
+    SpecConfig cfg;
+    switch (s) {
+      case Scheme::Base:
+      case Scheme::Mcs:
+        break;
+      case Scheme::BaseSle:
+        cfg.enableSle = true;
+        break;
+      case Scheme::BaseSleTlr:
+        cfg.enableSle = true;
+        cfg.enableTlr = true;
+        break;
+      case Scheme::TlrStrictTs:
+        cfg.enableSle = true;
+        cfg.enableTlr = true;
+        cfg.strictTimestamps = true;
+        break;
+    }
+    return cfg;
+}
+
+} // namespace tlr
+
+#endif // TLR_HARNESS_SCHEME_HH

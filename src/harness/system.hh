@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Top-level simulated machine: cores + speculation engines + L1
+ * controllers + interconnect + memory, wired per paper Table 2.
+ */
+
+#ifndef TLR_HARNESS_SYSTEM_HH
+#define TLR_HARNESS_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "coherence/directory.hh"
+#include "coherence/interconnect.hh"
+#include "coherence/l1_controller.hh"
+#include "coherence/memory_controller.hh"
+#include "core/spec_engine.hh"
+#include "cpu/core.hh"
+#include "mem/backing_store.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+namespace tlr
+{
+
+/** Coherence organization (paper Section 3: either works with TLR). */
+enum class Protocol
+{
+    Broadcast, ///< Gigaplane-style ordered broadcast (paper Table 2)
+    Directory, ///< home directory, point-to-point forwarding
+};
+
+/** Full machine configuration (defaults follow paper Table 2). */
+struct MachineParams
+{
+    int numCpus = 16;
+    Protocol protocol = Protocol::Broadcast;
+    InterconnectParams net;
+    L1Params l1;
+    MemParams mem;
+    std::uint64_t l2Lines = (4ull << 20) / lineBytes; ///< 4 MB shared L2
+    SpecConfig spec;
+    std::uint64_t seed = 12345;
+    Tick maxTicks = 2'000'000'000ull; ///< watchdog for livelock studies
+};
+
+class System
+{
+  public:
+    explicit System(const MachineParams &params);
+
+    int numCpus() const { return params_.numCpus; }
+    Core &core(int i) { return *cores_.at(static_cast<size_t>(i)); }
+    L1Controller &l1(int i) { return *l1s_.at(static_cast<size_t>(i)); }
+    SpecEngine &engine(int i)
+    {
+        return *engines_.at(static_cast<size_t>(i));
+    }
+    BackingStore &memory() { return store_; }
+    Interconnect &interconnect() { return *net_; }
+    EventQueue &eventQueue() { return eq_; }
+    StatSet &stats() { return stats_; }
+
+    void setProgram(int cpu, ProgramPtr prog);
+    void setLockClassifier(std::function<bool(Addr)> f);
+
+    /**
+     * Run until every core halts.
+     * @return true on completion; false if maxTicks elapsed first
+     *         (livelock experiments rely on this).
+     */
+    bool run();
+
+    /** Tick at which the last core halted (parallel execution time). */
+    Tick completionTick() const { return completionTick_; }
+
+    /** Schedule an OS preemption: at tick @p when, core @p cpu stops
+     *  for @p duration cycles. An active transaction aborts and its
+     *  lock stays free (paper Section 4, non-blocking behavior); a
+     *  BASE thread holding a real lock keeps it and blocks everyone
+     *  else — the contrast the paper's stability claim is about. */
+    void preemptCore(int cpu, Tick when, Tick duration);
+
+  private:
+    MachineParams params_;
+    EventQueue eq_;
+    StatSet stats_;
+    BackingStore store_;
+    std::unique_ptr<Interconnect> net_;
+    MemoryController mem_;
+    std::vector<std::unique_ptr<SpecEngine>> engines_;
+    std::vector<std::unique_ptr<L1Controller>> l1s_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    int haltedCount_ = 0;
+    Tick completionTick_ = 0;
+};
+
+} // namespace tlr
+
+#endif // TLR_HARNESS_SYSTEM_HH

@@ -1,0 +1,78 @@
+#include "harness/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace tlr
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::str() const
+{
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << "  " << row[c]
+               << std::string(width[c] - row[c].size(), ' ');
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < headers_.size(); ++c)
+        total += width[c] + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::num(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+splitBar(double total, double first_fraction, double max_total, int width)
+{
+    if (max_total <= 0)
+        max_total = 1;
+    int len = static_cast<int>(total / max_total * width + 0.5);
+    len = std::max(0, std::min(len, width));
+    int first = static_cast<int>(len * first_fraction + 0.5);
+    first = std::max(0, std::min(first, len));
+    return std::string(static_cast<size_t>(first), '#') +
+           std::string(static_cast<size_t>(len - first), '.');
+}
+
+} // namespace tlr

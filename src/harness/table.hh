@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fixed-width text tables for reproducing the paper's figures as
+ * terminal output (series per scheme, rows per x-value), plus simple
+ * ASCII bar rendering for the Figure 11 stacked bars.
+ */
+
+#ifndef TLR_HARNESS_TABLE_HH
+#define TLR_HARNESS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace tlr
+{
+
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column alignment and a header rule. */
+    std::string str() const;
+
+    /** Convenience formatting. */
+    static std::string num(double v, int precision = 2);
+    static std::string num(std::uint64_t v);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** A proportional ASCII bar of @p width characters: the first
+ *  fraction rendered with '#', the rest with '.'. */
+std::string splitBar(double total, double first_fraction, double max_total,
+                     int width = 40);
+
+} // namespace tlr
+
+#endif // TLR_HARNESS_TABLE_HH

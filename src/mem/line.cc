@@ -1,0 +1,19 @@
+#include "mem/line.hh"
+
+namespace tlr
+{
+
+const char *
+cohStateName(CohState s)
+{
+    switch (s) {
+      case CohState::Invalid: return "I";
+      case CohState::Shared: return "S";
+      case CohState::Exclusive: return "E";
+      case CohState::Owned: return "O";
+      case CohState::Modified: return "M";
+    }
+    return "?";
+}
+
+} // namespace tlr

@@ -1,0 +1,34 @@
+#include "mem/write_buffer.hh"
+
+namespace tlr
+{
+
+bool
+WriteBuffer::write(Addr addr, std::uint64_t value)
+{
+    Addr line = lineAlign(addr);
+    auto it = entries_.find(line);
+    if (it == entries_.end()) {
+        if (entries_.size() >= capacity_)
+            return false;
+        it = entries_.emplace(line, Entry{}).first;
+    }
+    unsigned w = wordIndex(addr);
+    it->second.mask |= 1u << w;
+    it->second.words[w] = value;
+    return true;
+}
+
+std::optional<std::uint64_t>
+WriteBuffer::read(Addr addr) const
+{
+    auto it = entries_.find(lineAlign(addr));
+    if (it == entries_.end())
+        return std::nullopt;
+    unsigned w = wordIndex(addr);
+    if (!(it->second.mask & (1u << w)))
+        return std::nullopt;
+    return it->second.words[w];
+}
+
+} // namespace tlr

@@ -1,0 +1,57 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace tlr
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb, EventPrio prio)
+{
+    if (when < _now)
+        panic("scheduling event in the past: when=%llu now=%llu",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(_now));
+    heap_.push(Item{when, static_cast<int>(prio), seq_++, std::move(cb)});
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast, which is
+    // safe because we pop immediately and never compare the moved item.
+    Item item = std::move(const_cast<Item &>(heap_.top()));
+    heap_.pop();
+    _now = item.when;
+    ++executed_;
+    item.cb();
+    return true;
+}
+
+bool
+EventQueue::run(Tick maxTick)
+{
+    stopRequested_ = false;
+    while (!heap_.empty()) {
+        if (heap_.top().when > maxTick)
+            return false;
+        step();
+        if (stopRequested_)
+            return true;
+    }
+    return true;
+}
+
+void
+EventQueue::reset()
+{
+    heap_ = {};
+    _now = 0;
+    seq_ = 0;
+    executed_ = 0;
+    stopRequested_ = false;
+}
+
+} // namespace tlr

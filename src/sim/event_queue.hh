@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global event queue drives the whole machine. Components
+ * schedule one-shot callbacks at absolute ticks. Ordering is fully
+ * deterministic: events at the same tick fire in (priority, insertion
+ * sequence) order, so simulations are exactly reproducible.
+ */
+
+#ifndef TLR_SIM_EVENT_QUEUE_HH
+#define TLR_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tlr
+{
+
+/** Standard event priorities; lower value fires first within a tick. */
+enum class EventPrio : int
+{
+    BusArbitration = 0,   ///< bus grants before snoops land
+    Snoop = 1,            ///< ordered address transactions
+    DataResponse = 2,     ///< data network deliveries
+    CoreTick = 3,         ///< processor pipeline steps
+    Default = 4,
+    Stats = 5,
+};
+
+/**
+ * The global discrete-event queue.
+ *
+ * Events are one-shot std::function callbacks. Cancellation is not
+ * supported; components that might become stale check their own state
+ * when the callback fires (the usual "squash by generation" idiom).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /** Schedule @p cb at absolute tick @p when (must be >= now()). */
+    void schedule(Tick when, Callback cb,
+                  EventPrio prio = EventPrio::Default);
+
+    /** Schedule @p cb @p delta ticks in the future. */
+    void
+    scheduleIn(Tick delta, Callback cb, EventPrio prio = EventPrio::Default)
+    {
+        schedule(_now + delta, std::move(cb), prio);
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    size_t pending() const { return heap_.size(); }
+
+    /** Total events executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+    /**
+     * Run until the queue drains, a stop is requested, or @p maxTick
+     * is reached.
+     * @return true if the queue drained naturally (or stop was
+     *         requested), false if maxTick cut the run short.
+     */
+    bool run(Tick maxTick = ~Tick{0});
+
+    /** Execute exactly one event, if any. @return false when empty. */
+    bool step();
+
+    /** Request run() to return after the current event completes. */
+    void requestStop() { stopRequested_ = true; }
+
+    /** Reset time and drop all pending events (test support). */
+    void reset();
+
+  private:
+    struct Item
+    {
+        Tick when;
+        int prio;
+        std::uint64_t seq;
+        Callback cb;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Item &a, const Item &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Item, std::vector<Item>, Later> heap_;
+    Tick _now = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+    bool stopRequested_ = false;
+};
+
+} // namespace tlr
+
+#endif // TLR_SIM_EVENT_QUEUE_HH

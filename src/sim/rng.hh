@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Each simulated thread owns an Rng seeded from (globalSeed, cpuId) so
+ * runs are reproducible and independent of host library differences.
+ * The generator is SplitMix64/xorshift-based: fast and well mixed.
+ */
+
+#ifndef TLR_SIM_RNG_HH
+#define TLR_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace tlr
+{
+
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed ? seed : 1)
+    {}
+
+    /** Derive a child generator (e.g., per-cpu from a global seed). */
+    Rng
+    fork(std::uint64_t salt) const
+    {
+        Rng child(mix(state_ ^ (salt * 0xbf58476d1ce4e5b9ull)));
+        return child;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        state_ += 0x9e3779b97f4a7c15ull;
+        return mix(state_);
+    }
+
+    /** Uniform value in [0, bound). bound == 0 yields 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return bound ? next() % bound : 0;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+  private:
+    static std::uint64_t
+    mix(std::uint64_t z)
+    {
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t state_;
+};
+
+} // namespace tlr
+
+#endif // TLR_SIM_RNG_HH

@@ -1,0 +1,46 @@
+#include "sim/stats.hh"
+
+#include <sstream>
+
+namespace tlr
+{
+
+std::uint64_t &
+StatSet::counter(const std::string &group, const std::string &name)
+{
+    return vals_[group + "." + name];
+}
+
+std::uint64_t
+StatSet::get(const std::string &group, const std::string &name) const
+{
+    auto it = vals_.find(group + "." + name);
+    return it == vals_.end() ? 0 : it->second;
+}
+
+std::uint64_t
+StatSet::sum(const std::string &groupPrefix, const std::string &name) const
+{
+    std::uint64_t total = 0;
+    const std::string suffix = "." + name;
+    for (const auto &[key, val] : vals_) {
+        if (key.rfind(groupPrefix, 0) == 0 && key.size() > suffix.size() &&
+            key.compare(key.size() - suffix.size(), suffix.size(), suffix)
+                == 0) {
+            total += val;
+        }
+    }
+    return total;
+}
+
+std::string
+StatSet::dump(const std::string &prefix) const
+{
+    std::ostringstream os;
+    for (const auto &[key, val] : vals_)
+        if (prefix.empty() || key.rfind(prefix, 0) == 0)
+            os << key << " = " << val << "\n";
+    return os.str();
+}
+
+} // namespace tlr

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fundamental simulator types shared by every module.
+ */
+
+#ifndef TLR_SIM_TYPES_HH
+#define TLR_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace tlr
+{
+
+/** Simulated time, in processor clock cycles. */
+using Tick = std::uint64_t;
+
+/** A byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Processor (and L1 controller) identifier. */
+using CpuId = int;
+
+/** Sentinel for "no cpu". */
+constexpr CpuId invalidCpu = -1;
+
+/** Cache line geometry. All caches in the system share one line size. */
+constexpr unsigned lineShift = 6;
+constexpr unsigned lineBytes = 1u << lineShift;        // 64 bytes
+constexpr unsigned wordsPerLine = lineBytes / 8;       // 8 x u64 words
+
+/** Round an address down to its containing line. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(lineBytes - 1);
+}
+
+/** Word index of an address within its line. Addresses are 8-byte
+ *  aligned; the core asserts this at access time. */
+constexpr unsigned
+wordIndex(Addr a)
+{
+    return static_cast<unsigned>((a >> 3) & (wordsPerLine - 1));
+}
+
+} // namespace tlr
+
+#endif // TLR_SIM_TYPES_HH

@@ -1,0 +1,61 @@
+#include "sync/barrier.hh"
+
+namespace tlr
+{
+
+namespace
+{
+
+/** Common tail: last arrival resets the counter and flips the global
+ *  sense; everyone else spins until the sense matches theirs. @p t0
+ *  holds the pre-increment counter value on entry. */
+void
+emitBarrierTail(ProgramBuilder &b, Reg count_reg, Reg sense_reg,
+                Reg local_sense_reg, int nthreads, Reg t0, Reg t1)
+{
+    const std::string spin = b.uniqueLabel("bar_spin");
+    const std::string done = b.uniqueLabel("bar_done");
+    b.li(t1, nthreads - 1);
+    b.bne(t0, t1, spin);                 // not the last arrival
+    b.st(0, count_reg);                  // reset for the next episode
+    b.st(local_sense_reg, sense_reg);    // release everyone
+    b.jmp(done);
+    b.label(spin);
+    b.ld(t1, sense_reg);
+    b.bne(t1, local_sense_reg, spin);
+    b.label(done);
+}
+
+} // namespace
+
+void
+emitBarrierAmo(ProgramBuilder &b, Reg count_reg, Reg sense_reg,
+               Reg local_sense_reg, int nthreads, Reg t0, Reg t1)
+{
+    // local_sense = 1 - local_sense
+    b.li(t0, 1);
+    b.sub(local_sense_reg, t0, local_sense_reg);
+    // t0 = fetch_and_add(count, 1)
+    b.li(t1, 1);
+    b.amoadd(t0, t1, count_reg);
+    emitBarrierTail(b, count_reg, sense_reg, local_sense_reg, nthreads,
+                    t0, t1);
+}
+
+void
+emitBarrierLlSc(ProgramBuilder &b, Reg count_reg, Reg sense_reg,
+                Reg local_sense_reg, int nthreads, Reg t0, Reg t1)
+{
+    const std::string retry = b.uniqueLabel("bar_retry");
+    b.li(t0, 1);
+    b.sub(local_sense_reg, t0, local_sense_reg);
+    b.label(retry);
+    b.ll(t0, count_reg);
+    b.addi(t1, t0, 1);
+    b.sc(t1, t1, count_reg); // the idiom SLE will (wrongly) elide
+    b.beq(t1, 0, retry);
+    emitBarrierTail(b, count_reg, sense_reg, local_sense_reg, nthreads,
+                    t0, t1);
+}
+
+} // namespace tlr

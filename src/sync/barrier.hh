@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Sense-reversing centralized barrier in the mini-ISA.
+ *
+ * The paper's applications use barriers alongside locks; this module
+ * provides the standard sense-reversing barrier two ways:
+ *
+ *  - emitBarrierAmo: the arrival counter is a single AMOADD, which the
+ *    speculation engine never elides (atomics are synchronization, not
+ *    the silent store-pair idiom) — the recommended form.
+ *  - emitBarrierLlSc: a legacy LL/SC increment loop. The SC *matches*
+ *    the silent store-pair idiom, so SLE/TLR initially elide it and
+ *    speculate into the sense spin-wait, a region that can never
+ *    commit; the engine's non-committing-region retry cap then forces
+ *    real execution. Correct, but a stress test for the fallback path
+ *    (SpecConfig::tlrMaxRetries).
+ *
+ * Layout: the counter and the sense flag live on separate cache lines
+ * so arrival traffic does not invalidate the spinners.
+ */
+
+#ifndef TLR_SYNC_BARRIER_HH
+#define TLR_SYNC_BARRIER_HH
+
+#include "cpu/program.hh"
+#include "sim/types.hh"
+
+namespace tlr
+{
+
+/**
+ * Emit a sense-reversing barrier using AMOADD.
+ * @param count_reg register holding the arrival-counter address
+ * @param sense_reg register holding the global-sense address
+ * @param local_sense_reg persistent register holding this thread's
+ *        sense (initialize to 0 before the first barrier)
+ * @param nthreads participant count
+ * Clobbers @p t0 and @p t1.
+ */
+void emitBarrierAmo(ProgramBuilder &b, Reg count_reg, Reg sense_reg,
+                    Reg local_sense_reg, int nthreads, Reg t0, Reg t1);
+
+/** Same barrier built from an LL/SC increment loop. */
+void emitBarrierLlSc(ProgramBuilder &b, Reg count_reg, Reg sense_reg,
+                     Reg local_sense_reg, int nthreads, Reg t0, Reg t1);
+
+} // namespace tlr
+
+#endif // TLR_SYNC_BARRIER_HH

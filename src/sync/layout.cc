@@ -1,0 +1,52 @@
+#include "sync/layout.hh"
+
+#include "sim/logging.hh"
+
+namespace tlr
+{
+
+Addr
+Layout::alloc(std::uint64_t bytes, std::uint64_t align)
+{
+    if (align == 0 || (align & (align - 1)))
+        fatal("alignment must be a power of two");
+    next_ = (next_ + align - 1) & ~(align - 1);
+    Addr a = next_;
+    next_ += bytes;
+    return a;
+}
+
+Addr
+Layout::allocLine()
+{
+    return alloc(lineBytes, lineBytes);
+}
+
+Addr
+Layout::allocLines(unsigned lines)
+{
+    return alloc(static_cast<std::uint64_t>(lines) * lineBytes, lineBytes);
+}
+
+Addr
+Layout::allocLock()
+{
+    Addr a = allocLine();
+    lockLines_.insert(lineAlign(a));
+    return a;
+}
+
+void
+Layout::registerSyncAddr(Addr addr)
+{
+    lockLines_.insert(lineAlign(addr));
+}
+
+std::function<bool(Addr)>
+Layout::classifier() const
+{
+    auto lines = lockLines_; // copy: layout may outlive or not
+    return [lines](Addr a) { return lines.count(lineAlign(a)) != 0; };
+}
+
+} // namespace tlr

@@ -1,0 +1,103 @@
+#include "sync/lock_progs.hh"
+
+namespace tlr
+{
+
+void
+emitTtsAcquire(ProgramBuilder &b, Reg lock_reg, Reg t0, Reg t1)
+{
+    const std::string spin = b.uniqueLabel("tts_spin");
+    const std::string done = b.uniqueLabel("tts_done");
+    b.label(spin);
+    b.ld(t0, lock_reg);          // test: spin on a cached copy
+    b.bne(t0, 0, spin);
+    b.ll(t0, lock_reg);          // test&set attempt via LL/SC
+    b.bne(t0, 0, spin);
+    b.li(t1, 1);
+    b.sc(t0, t1, lock_reg);      // the elidable store (SLE idiom)
+    b.bne(t0, 0, done);
+    // SC failed: short random backoff. Real LL/SC hardware guarantees
+    // eventual SC success with link hold windows; our protocol model
+    // has none, so symmetric contenders could otherwise invalidate
+    // each other's links forever. The backoff only runs on failure,
+    // leaving the uncontended path untouched.
+    b.li(t1, 32);
+    b.rnd(t0, t1);
+    b.delay(t0);
+    b.jmp(spin);
+    b.label(done);
+}
+
+void
+emitTtsRelease(ProgramBuilder &b, Reg lock_reg)
+{
+    b.st(0, lock_reg);           // restore the free value (silent pair)
+}
+
+void
+emitMcsAcquire(ProgramBuilder &b, Reg lock_reg, Reg qnode_reg, Reg t0,
+               Reg t1, Reg t2)
+{
+    const std::string wait = b.uniqueLabel("mcs_wait");
+    const std::string done = b.uniqueLabel("mcs_done");
+
+    (void)t1;
+    b.st(0, qnode_reg, mcsNextOff);       // qnode->next = NULL
+    b.amoswap(t0, qnode_reg, lock_reg);   // pred = SWAP(tail, qnode)
+    b.beq(t0, 0, done);                   // no predecessor: lock is ours
+    b.li(t2, 1);
+    b.st(t2, qnode_reg, mcsLockedOff);    // qnode->locked = 1
+    b.st(qnode_reg, t0, mcsNextOff);      // pred->next = qnode
+    b.label(wait);
+    b.ld(t2, qnode_reg, mcsLockedOff);    // spin on own node (local)
+    b.bne(t2, 0, wait);
+    b.label(done);
+}
+
+void
+emitMcsRelease(ProgramBuilder &b, Reg lock_reg, Reg qnode_reg, Reg t0,
+               Reg t1)
+{
+    const std::string waitSucc = b.uniqueLabel("mcs_waitsucc");
+    const std::string notify = b.uniqueLabel("mcs_notify");
+    const std::string done = b.uniqueLabel("mcs_rel_done");
+
+    b.ld(t0, qnode_reg, mcsNextOff);
+    b.bne(t0, 0, notify);                 // successor already linked
+    b.mov(t1, qnode_reg);                 // expected value for the CAS
+    b.amocas(t1, 0, lock_reg);            // CAS(tail, qnode, NULL)
+    b.beq(t1, qnode_reg, done);           // succeeded: queue empty again
+    b.label(waitSucc);                    // tail moved: successor coming
+    b.ld(t0, qnode_reg, mcsNextOff);
+    b.beq(t0, 0, waitSucc);
+    b.label(notify);
+    b.ld(t0, qnode_reg, mcsNextOff);
+    b.st(0, t0, mcsLockedOff);            // successor->locked = 0
+    b.label(done);
+}
+
+void
+emitAcquire(ProgramBuilder &b, LockKind kind, Reg lock_reg, Reg qnode_reg,
+            Reg t0, Reg t1, Reg t2)
+{
+    if (kind == LockKind::TestAndTestAndSet)
+        emitTtsAcquire(b, lock_reg, t0, t1);
+    else
+        emitMcsAcquire(b, lock_reg, qnode_reg, t0, t1, t2);
+}
+
+void
+emitRelease(ProgramBuilder &b, LockKind kind, Reg lock_reg, Reg qnode_reg,
+            Reg t0, Reg t1)
+{
+    if (kind == LockKind::TestAndTestAndSet) {
+        (void)qnode_reg;
+        (void)t0;
+        (void)t1;
+        emitTtsRelease(b, lock_reg);
+    } else {
+        emitMcsRelease(b, lock_reg, qnode_reg, t0, t1);
+    }
+}
+
+} // namespace tlr

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Lock algorithms written in the mini-ISA.
+ *
+ * The BASE/SLE/TLR schemes all run the same test&test&set binary
+ * (paper Section 5): the acquire is a spin-read followed by an LL/SC
+ * attempt, the release a plain store of the free value. SLE elides
+ * exactly this dynamic store pattern; no annotation is involved.
+ *
+ * The MCS scheme uses Mellor-Crummey & Scott queue locks built from
+ * the same LL/SC primitives, matching the paper's software baseline.
+ */
+
+#ifndef TLR_SYNC_LOCK_PROGS_HH
+#define TLR_SYNC_LOCK_PROGS_HH
+
+#include "cpu/program.hh"
+#include "sim/types.hh"
+
+namespace tlr
+{
+
+/** Which lock code the workload generators should emit. */
+enum class LockKind
+{
+    TestAndTestAndSet,
+    Mcs,
+};
+
+/** MCS queue node field offsets (one node per thread per lock). */
+constexpr std::int64_t mcsNextOff = 0;
+constexpr std::int64_t mcsLockedOff = 8;
+/** Bytes needed for one MCS queue node (line-padded). */
+constexpr std::uint64_t mcsNodeBytes = lineBytes;
+
+/**
+ * Emit a test&test&set acquire. @p lock_reg holds the lock address.
+ * Clobbers @p t0 and @p t1.
+ */
+void emitTtsAcquire(ProgramBuilder &b, Reg lock_reg, Reg t0, Reg t1);
+
+/** Emit a test&test&set release (store of the free value). */
+void emitTtsRelease(ProgramBuilder &b, Reg lock_reg);
+
+/**
+ * Emit an MCS acquire. @p lock_reg holds the tail-pointer address,
+ * @p qnode_reg the address of this thread's queue node. Clobbers
+ * @p t0..@p t2.
+ */
+void emitMcsAcquire(ProgramBuilder &b, Reg lock_reg, Reg qnode_reg, Reg t0,
+                    Reg t1, Reg t2);
+
+/** Emit an MCS release. Clobbers @p t0 and @p t1. */
+void emitMcsRelease(ProgramBuilder &b, Reg lock_reg, Reg qnode_reg, Reg t0,
+                    Reg t1);
+
+/**
+ * Emit an acquire/release of either kind. For MCS, @p qnode_reg must
+ * hold this thread's queue-node address for that lock.
+ */
+void emitAcquire(ProgramBuilder &b, LockKind kind, Reg lock_reg,
+                 Reg qnode_reg, Reg t0, Reg t1, Reg t2);
+void emitRelease(ProgramBuilder &b, LockKind kind, Reg lock_reg,
+                 Reg qnode_reg, Reg t0, Reg t1);
+
+} // namespace tlr
+
+#endif // TLR_SYNC_LOCK_PROGS_HH

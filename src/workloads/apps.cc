@@ -1,0 +1,395 @@
+#include "workloads/apps.hh"
+
+#include "harness/system.hh"
+#include "sim/logging.hh"
+#include "sync/layout.hh"
+
+namespace tlr
+{
+
+namespace
+{
+
+// Register conventions for generated application kernels.
+constexpr Reg rIter = 1;
+constexpr Reg rLock = 2;    // address of the selected lock
+constexpr Reg rQn = 3;      // this thread's MCS qnode for that lock
+constexpr Reg rData = 4;    // base of the selected lock's data region
+constexpr Reg rVal = 5;
+constexpr Reg rT0 = 6;
+constexpr Reg rT1 = 7;
+constexpr Reg rT2 = 8;
+constexpr Reg rSel = 9;     // selected lock index
+constexpr Reg rN = 10;      // numLocks (constant)
+constexpr Reg rPriv = 11;   // private data base
+constexpr Reg rDel = 12;
+constexpr Reg rBigCnt = 14;  // countdown to the next oversized CS
+
+/**
+ * Emit code computing rSel (lock index) per the selection policy and
+ * setting rLock/rQn/rData from it. Lock i lives at lockBase + i*64;
+ * its data region at dataBase + i*regionBytes; cpu-private qnodes at
+ * qnodeBase + i*64 (MCS only).
+ */
+void
+emitSelectLock(ProgramBuilder &b, const AppProfile &p, int cpu,
+               Addr lock_base, Addr data_base, Addr qnode_base,
+               unsigned region_lines, LockKind kind)
+{
+    const unsigned dataRegions =
+        p.dataRegions ? p.dataRegions : p.numLocks;
+    switch (p.select) {
+      case LockSelect::Fixed0:
+        b.li(rSel, 0);
+        break;
+      case LockSelect::OwnIndex:
+        b.li(rSel, cpu % static_cast<int>(p.numLocks));
+        break;
+      case LockSelect::Random:
+        b.rnd(rSel, rN);
+        break;
+      case LockSelect::RootBiased:
+        // rnd(rnd(N)+1): strongly biased toward low indices, like the
+        // upper levels of barnes' octree.
+        b.rnd(rT0, rN);
+        b.addi(rT0, rT0, 1);
+        b.rnd(rSel, rT0);
+        break;
+      case LockSelect::HotOrRandom: {
+        const std::string hot = b.uniqueLabel("hot");
+        const std::string done = b.uniqueLabel("seldone");
+        b.li(rT0, p.hotOneInN);
+        b.rnd(rT1, rT0);          // hot with probability 1/hotOneInN
+        b.beq(rT1, 0, hot);
+        b.rnd(rSel, rN);          // uniform
+        b.jmp(done);
+        b.label(hot);
+        b.li(rSel, 0);            // the hot work-list lock
+        b.label(done);
+        break;
+      }
+    }
+    // rLock = lock_base + rSel * 64
+    b.slli(rT0, rSel, lineShift);
+    b.li(rLock, static_cast<std::int64_t>(lock_base));
+    b.add(rLock, rLock, rT0);
+    if (kind == LockKind::Mcs) {
+        // rQn = qnode_base + rSel * 64 (one node per lock per thread);
+        // must use the lock index, before any data-region reselect.
+        b.slli(rT0, rSel, lineShift);
+        b.li(rQn, static_cast<std::int64_t>(qnode_base));
+        b.add(rQn, rQn, rT0);
+    }
+    if (dataRegions != p.numLocks) {
+        // Decoupled data: a coarse lock protecting many independent
+        // cells. Pick the region uniformly.
+        b.li(rT1, dataRegions);
+        b.rnd(rSel, rT1);
+    }
+    // rData = data_base + rSel * regionBytes
+    b.slli(rT0, rSel, lineShift);
+    if (region_lines > 1) {
+        b.li(rT1, region_lines);
+        b.mul(rT0, rT0, rT1);
+    }
+    b.li(rData, static_cast<std::int64_t>(data_base));
+    b.add(rData, rData, rT0);
+}
+
+/** Emit the critical-section body: counter increment plus the
+ *  profile's read/write line touches and compute. */
+void
+emitCsBody(ProgramBuilder &b, unsigned read_lines, unsigned write_lines,
+           unsigned cs_compute, unsigned region_lines)
+{
+    // Serializability witness: counter increment in word 0.
+    b.ld(rVal, rData);
+    b.addi(rVal, rVal, 1);
+    b.st(rVal, rData);
+    // Additional reads and read-modify-writes over the protected
+    // region. Updates read the line first, which is what the paper's
+    // read-modify-write predictor targets (Section 3.1.2).
+    unsigned line = 1;
+    for (unsigned i = 0; i < read_lines; ++i, ++line) {
+        std::int64_t off =
+            static_cast<std::int64_t>((line % region_lines) * lineBytes);
+        b.ld(rT2, rData, off);
+        b.add(rVal, rVal, rT2);
+    }
+    for (unsigned i = 0; i < write_lines; ++i, ++line) {
+        std::int64_t off =
+            static_cast<std::int64_t>((line % region_lines) * lineBytes);
+        b.ld(rT2, rData, off);
+        b.add(rT2, rT2, rVal);
+        b.st(rT2, rData, off);
+    }
+    if (cs_compute > 0) {
+        b.li(rDel, cs_compute);
+        b.delay(rDel);
+    }
+}
+
+} // namespace
+
+Workload
+makeAppKernel(const AppProfile &p, int num_cpus, LockKind kind)
+{
+    // Region: enough lines for the largest CS this profile emits.
+    unsigned maxLine = 1 + p.csReadLines +
+                       std::max(p.csWriteLines, p.bigCsWriteLines);
+    unsigned regionLines = maxLine + 1;
+
+    const unsigned dataRegions =
+        p.dataRegions ? p.dataRegions : p.numLocks;
+    Layout lay;
+    Addr lockBase = lay.allocLines(p.numLocks);
+    for (unsigned i = 0; i < p.numLocks; ++i)
+        lay.registerSyncAddr(lockBase + static_cast<Addr>(i) * lineBytes);
+    Addr dataBase = lay.allocLines(dataRegions * regionLines);
+    // Private per-cpu data for the outside-CS phase.
+    std::vector<Addr> priv;
+    for (int c = 0; c < num_cpus; ++c)
+        priv.push_back(lay.allocLines(std::max(p.outsideTouches, 1u)));
+    // MCS queue nodes: one per (cpu, lock).
+    std::vector<Addr> qnodeBase;
+    if (kind == LockKind::Mcs) {
+        for (int c = 0; c < num_cpus; ++c) {
+            Addr base = lay.allocLines(p.numLocks);
+            for (unsigned i = 0; i < p.numLocks; ++i)
+                lay.registerSyncAddr(base + static_cast<Addr>(i) *
+                                                lineBytes);
+            qnodeBase.push_back(base);
+        }
+    }
+
+    Workload wl;
+    wl.name = p.name;
+    wl.lockClassifier = lay.classifier();
+
+    for (int cpu = 0; cpu < num_cpus; ++cpu) {
+        ProgramBuilder b;
+        b.li(rIter, static_cast<std::int64_t>(p.itersPerCpu));
+        b.li(rN, p.numLocks);
+        b.li(rPriv, static_cast<std::int64_t>(priv[static_cast<size_t>(
+                        cpu)]));
+        if (p.bigCsEveryN > 0)
+            b.li(rBigCnt, p.bigCsEveryN);
+
+        b.label("loop");
+        emitSelectLock(b, p, cpu, lockBase, dataBase,
+                       kind == LockKind::Mcs
+                           ? qnodeBase[static_cast<size_t>(cpu)]
+                           : 0,
+                       regionLines, kind);
+
+        emitAcquire(b, kind, rLock, rQn, rT0, rT1, rT2);
+        if (p.bigCsEveryN > 0) {
+            const std::string small = b.uniqueLabel("small");
+            const std::string csdone = b.uniqueLabel("csdone");
+            b.addi(rBigCnt, rBigCnt, -1);
+            b.bne(rBigCnt, 0, small);
+            b.li(rBigCnt, p.bigCsEveryN);
+            emitCsBody(b, p.csReadLines, p.bigCsWriteLines, p.csCompute,
+                       regionLines);
+            b.jmp(csdone);
+            b.label(small);
+            emitCsBody(b, p.csReadLines, p.csWriteLines, p.csCompute,
+                       regionLines);
+            b.label(csdone);
+        } else {
+            emitCsBody(b, p.csReadLines, p.csWriteLines, p.csCompute,
+                       regionLines);
+        }
+        emitRelease(b, kind, rLock, rQn, rT0, rT1);
+
+        // Outside phase: private work plus think time.
+        for (unsigned t = 0; t < p.outsideTouches; ++t) {
+            std::int64_t off = static_cast<std::int64_t>(t * lineBytes);
+            b.ld(rT0, rPriv, off);
+            b.addi(rT0, rT0, 1);
+            b.st(rT0, rPriv, off);
+        }
+        if (p.outsideCompute > 0) {
+            b.li(rDel, p.outsideCompute);
+            b.delay(rDel);
+        }
+        if (p.outsideRandom > 0) {
+            b.li(rDel, p.outsideRandom);
+            b.rnd(rT0, rDel);
+            b.delay(rT0);
+        }
+
+        b.addi(rIter, rIter, -1);
+        b.bne(rIter, 0, "loop");
+        b.halt();
+        wl.programs.push_back(b.build());
+    }
+
+    // Validation: the per-lock counters must sum to the total number
+    // of critical sections executed (atomicity witness).
+    const std::uint64_t expected =
+        p.itersPerCpu * static_cast<std::uint64_t>(num_cpus);
+    wl.validate = [dataBase, dataRegions, regionLines,
+                   expected](System &sys) {
+        std::uint64_t sum = 0;
+        for (unsigned i = 0; i < dataRegions; ++i)
+            sum += readCoherent(
+                sys, dataBase + static_cast<Addr>(i) * regionLines *
+                                    lineBytes);
+        return sum == expected;
+    };
+    return wl;
+}
+
+//
+// Paper-calibrated profiles. itersPerCpu values are scaled-down but
+// keep the relative critical-section frequencies of the applications.
+//
+
+AppProfile
+barnesProfile()
+{
+    AppProfile p;
+    p.name = "barnes";
+    p.numLocks = 32;               // octree node locks
+    p.select = LockSelect::RootBiased;
+    p.csReadLines = 1;
+    p.csWriteLines = 1;            // cell updates: real data conflicts
+    p.csCompute = 40;              // longer sections: restarts hurt
+    p.outsideCompute = 150;        // body integration between inserts
+    p.outsideRandom = 100;
+    p.outsideTouches = 3;
+    p.itersPerCpu = 96;
+    return p;
+}
+
+AppProfile
+choleskyProfile()
+{
+    AppProfile p;
+    p.name = "cholesky";
+    p.numLocks = 32;               // column locks
+    p.select = LockSelect::Random;
+    p.csReadLines = 2;
+    p.csWriteLines = 6;            // typical column update
+    p.bigCsWriteLines = 80;        // ScatterUpdate-style giant CS:
+    p.bigCsEveryN = 24;            //  overflows the 64-line write buffer
+    p.csCompute = 30;
+    p.outsideCompute = 350;
+    p.outsideRandom = 150;
+    p.outsideTouches = 4;
+    p.itersPerCpu = 48;
+    return p;
+}
+
+AppProfile
+mp3dProfile()
+{
+    AppProfile p;
+    p.name = "mp3d";
+    p.numLocks = 1024;             // per-cell locks; locks + cells
+    p.select = LockSelect::Random; //  exceed the 128 KB L1
+    p.csReadLines = 0;
+    p.csWriteLines = 0;            // the cell update is the counter rmw
+    p.csCompute = 0;
+    p.outsideCompute = 8;          // very frequent synchronization
+    p.outsideRandom = 8;
+    p.outsideTouches = 1;
+    p.itersPerCpu = 192;
+    return p;
+}
+
+AppProfile
+radiosityProfile()
+{
+    AppProfile p;
+    p.name = "radiosity";
+    p.numLocks = 8;                // task queue + buffer locks
+    p.select = LockSelect::HotOrRandom;
+    p.hotOneInN = 2;               // the task-queue lock stays hot
+    p.csReadLines = 0;             // dequeue touches the queue head
+    p.csWriteLines = 1;            //  plus the task descriptor: short,
+    p.csCompute = 10;              //  nearly single-block sections
+    p.outsideCompute = 700;        // computing the radiosity exchange
+    p.outsideRandom = 300;
+    p.outsideTouches = 2;
+    p.itersPerCpu = 128;
+    return p;
+}
+
+AppProfile
+waterNsqProfile()
+{
+    AppProfile p;
+    p.name = "water-nsq";
+    p.numLocks = 256;              // per-molecule locks, uncontended
+    p.select = LockSelect::Random;
+    p.csReadLines = 2;             // force updates: data misses that
+    p.csWriteLines = 2;            //  hide under the lock access
+    p.csCompute = 10;
+    p.outsideCompute = 120;
+    p.outsideRandom = 60;
+    p.outsideTouches = 2;
+    p.itersPerCpu = 128;
+    return p;
+}
+
+AppProfile
+oceanContProfile()
+{
+    AppProfile p;
+    p.name = "ocean-cont";
+    p.numLocks = 4;                // global counter locks
+    p.select = LockSelect::Random;
+    p.csReadLines = 0;
+    p.csWriteLines = 0;            // counter update only
+    p.csCompute = 0;
+    p.outsideCompute = 2000;       // grid relaxation dominates
+    p.outsideRandom = 300;
+    p.outsideTouches = 8;
+    p.itersPerCpu = 32;
+    return p;
+}
+
+AppProfile
+raytraceProfile()
+{
+    AppProfile p;
+    p.name = "raytrace";
+    p.numLocks = 16;               // work list + counters
+    p.select = LockSelect::HotOrRandom;
+    p.hotOneInN = 4;               // work-list grabs are a quarter
+    p.csReadLines = 1;
+    p.csWriteLines = 1;
+    p.csCompute = 5;
+    p.outsideCompute = 500;        // ray shading between grabs
+    p.outsideRandom = 250;
+    p.outsideTouches = 4;
+    p.itersPerCpu = 96;
+    return p;
+}
+
+AppProfile
+mp3dCoarseProfile()
+{
+    AppProfile p = mp3dProfile();
+    p.name = "mp3d-coarse";
+    // One lock protecting all 4096 independent cells (Section 6.3
+    // experiment): terrible for BASE/MCS (total serialization), great
+    // for TLR (the single lock line stays cached Shared everywhere
+    // and the cell updates rarely conflict).
+    p.dataRegions = p.numLocks;
+    p.numLocks = 1;
+    p.select = LockSelect::Fixed0;
+    return p;
+}
+
+std::vector<AppProfile>
+allAppProfiles()
+{
+    return {oceanContProfile(), waterNsqProfile(), raytraceProfile(),
+            radiosityProfile(), barnesProfile(),   choleskyProfile(),
+            mp3dProfile()};
+}
+
+} // namespace tlr

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Synthetic application kernels standing in for the paper's SPLASH /
+ * SPLASH-2 applications (Table 1, Section 6.3).
+ *
+ * The paper's application-level results are driven entirely by each
+ * program's locking signature: how many locks, how contended, how
+ * large the protected data, how frequent the critical sections, and
+ * whether conflicting data accesses are real. These kernels reproduce
+ * those signatures in the mini-ISA (see DESIGN.md, Substitutions):
+ *
+ *  - barnes:    tree-node locks, root-biased selection, real data
+ *               conflicts (TLR restarts; MCS's ordered queue wins).
+ *  - cholesky:  column locks with occasionally huge critical sections
+ *               that overflow the speculative write buffer (~4% of
+ *               executions), exercising the lock-acquisition fallback.
+ *  - mp3d:      very frequent, uncontended per-cell locks whose
+ *               footprint exceeds the 128 KB L1 (lock miss latency
+ *               dominates BASE; MCS overhead is a disaster; TLR wins).
+ *  - radiosity: one hot task-queue lock, highly contended, moderate
+ *               critical sections (TLR's biggest win, ~1.47x).
+ *  - water-nsq: frequent uncontended locks with data misses hidden
+ *               under the lock access (removing locks exposes them,
+ *               so the gain is ~nil).
+ *  - ocean-cont: mostly compute, rare counter locks (lock time is a
+ *               tiny fraction; nothing to gain).
+ *  - raytrace:  contended work-list lock plus per-ray counter locks.
+ *
+ * Every critical section increments a per-lock counter; validation
+ * checks the final counts, so any atomicity violation in SLE/TLR
+ * shows up as a lost update.
+ */
+
+#ifndef TLR_WORKLOADS_APPS_HH
+#define TLR_WORKLOADS_APPS_HH
+
+#include <string>
+#include <vector>
+
+#include "sync/lock_progs.hh"
+#include "workloads/workload.hh"
+
+namespace tlr
+{
+
+/** How a thread picks the lock for its next critical section. */
+enum class LockSelect
+{
+    Fixed0,     ///< always lock 0 (single hot lock)
+    OwnIndex,   ///< lock[cpu % numLocks] (no inter-thread contention)
+    Random,     ///< uniform over the pool
+    RootBiased, ///< rnd(rnd(N)+1): tree-like bias toward low indices
+    HotOrRandom,///< lock 0 with probability ~1/2, else uniform
+};
+
+/** Locking-signature description of one application. */
+struct AppProfile
+{
+    std::string name;
+    unsigned numLocks = 16;
+    /** Independent data regions. 0 (default) ties each region to its
+     *  lock. A nonzero value decouples them: the critical section
+     *  picks a uniformly random region — this models coarse-grain
+     *  locking where one lock protects many independent cells
+     *  (Section 6.3 coarse-vs-fine experiment). */
+    unsigned dataRegions = 0;
+    LockSelect select = LockSelect::Random;
+    unsigned csReadLines = 1;   ///< extra lines read in the CS
+    unsigned csWriteLines = 1;  ///< extra lines written in the CS
+    unsigned csCompute = 0;     ///< delay cycles inside the CS
+    unsigned bigCsWriteLines = 0;    ///< occasional oversized CS
+    unsigned bigCsEveryN = 0;        ///< 0 = never
+    unsigned hotOneInN = 2;          ///< HotOrRandom: P(hot) = 1/N
+    unsigned outsideCompute = 100;   ///< fixed delay between CSs
+    unsigned outsideRandom = 64;     ///< extra random delay
+    unsigned outsideTouches = 2;     ///< private lines touched outside
+    std::uint64_t itersPerCpu = 64;
+};
+
+/** The seven profiles used for Figure 11 (paper-calibrated). */
+AppProfile barnesProfile();
+AppProfile choleskyProfile();
+AppProfile mp3dProfile();
+AppProfile radiosityProfile();
+AppProfile waterNsqProfile();
+AppProfile oceanContProfile();
+AppProfile raytraceProfile();
+
+/** All seven, in the order of the paper's Figure 11. */
+std::vector<AppProfile> allAppProfiles();
+
+/** mp3d with one coarse lock over all cells (Section 6.3 coarse-grain
+ *  vs fine-grain experiment). */
+AppProfile mp3dCoarseProfile();
+
+/** Build the workload for a profile. */
+Workload makeAppKernel(const AppProfile &profile, int num_cpus,
+                       LockKind lock_kind);
+
+} // namespace tlr
+
+#endif // TLR_WORKLOADS_APPS_HH

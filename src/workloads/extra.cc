@@ -1,0 +1,312 @@
+#include "workloads/extra.hh"
+
+#include <vector>
+
+#include "harness/system.hh"
+#include "sim/logging.hh"
+#include "sync/layout.hh"
+
+namespace tlr
+{
+
+namespace
+{
+
+constexpr Reg rIter = 1;
+constexpr Reg rI = 2;     // first index
+constexpr Reg rJ = 3;     // second index
+constexpr Reg rLockLo = 4;
+constexpr Reg rLockHi = 5;
+constexpr Reg rAmt = 6;
+constexpr Reg rT0 = 7;
+constexpr Reg rT1 = 8;
+constexpr Reg rT2 = 9;
+constexpr Reg rBalLo = 10;
+constexpr Reg rBalHi = 11;
+constexpr Reg rN = 12;
+constexpr Reg rQnLo = 13;
+constexpr Reg rQnHi = 14;
+constexpr Reg rCur = 15;
+constexpr Reg rDepth = 16;
+constexpr Reg rLog = 17;
+constexpr Reg rVal = 18;
+
+/** rOut = base + rIdx * 64 (line-strided table indexing). */
+void
+emitIndexLine(ProgramBuilder &b, Reg out, Addr base, Reg idx, Reg t)
+{
+    b.slli(t, idx, lineShift);
+    b.li(out, static_cast<std::int64_t>(base));
+    b.add(out, out, t);
+}
+
+} // namespace
+
+Workload
+makeBankTransfer(int num_cpus, unsigned accounts,
+                 std::uint64_t transfers_per_cpu, LockKind kind)
+{
+    constexpr std::uint64_t initBalance = 1000;
+    Layout lay;
+    Addr lockBase = lay.allocLines(accounts);
+    for (unsigned i = 0; i < accounts; ++i)
+        lay.registerSyncAddr(lockBase + static_cast<Addr>(i) * lineBytes);
+    Addr balBase = lay.allocLines(accounts);
+    std::vector<Addr> qnBase;
+    if (kind == LockKind::Mcs) {
+        for (int c = 0; c < num_cpus; ++c) {
+            Addr base = lay.allocLines(accounts);
+            for (unsigned i = 0; i < accounts; ++i)
+                lay.registerSyncAddr(base + static_cast<Addr>(i) *
+                                                lineBytes);
+            qnBase.push_back(base);
+        }
+    }
+
+    Workload wl;
+    wl.name = "bank-transfer";
+    wl.lockClassifier = lay.classifier();
+    wl.init = [balBase, accounts](BackingStore &mem) {
+        for (unsigned i = 0; i < accounts; ++i)
+            mem.writeWord(balBase + static_cast<Addr>(i) * lineBytes,
+                          initBalance);
+    };
+
+    for (int c = 0; c < num_cpus; ++c) {
+        ProgramBuilder b;
+        b.li(rIter, static_cast<std::int64_t>(transfers_per_cpu));
+        b.li(rN, accounts);
+        b.label("loop");
+        // Pick two distinct accounts; order them by index so the two
+        // nested acquires can never deadlock.
+        b.rnd(rI, rN);
+        b.rnd(rJ, rN);
+        b.bne(rI, rJ, "distinct");
+        b.addi(rJ, rI, 1);
+        b.blt(rJ, rN, "distinct");
+        b.li(rJ, 0);
+        b.label("distinct");
+        b.blt(rI, rJ, "ordered");
+        b.mov(rT0, rI);
+        b.mov(rI, rJ);
+        b.mov(rJ, rT0);
+        b.label("ordered");
+        emitIndexLine(b, rLockLo, lockBase, rI, rT0);
+        emitIndexLine(b, rLockHi, lockBase, rJ, rT0);
+        emitIndexLine(b, rBalLo, balBase, rI, rT0);
+        emitIndexLine(b, rBalHi, balBase, rJ, rT0);
+        if (kind == LockKind::Mcs) {
+            emitIndexLine(b, rQnLo,
+                          qnBase[static_cast<size_t>(c)], rI, rT0);
+            emitIndexLine(b, rQnHi,
+                          qnBase[static_cast<size_t>(c)], rJ, rT0);
+        }
+        b.li(rT0, 10);
+        b.rnd(rAmt, rT0); // transfer amount 0..9
+
+        emitAcquire(b, kind, rLockLo, rQnLo, rT0, rT1, rT2);
+        emitAcquire(b, kind, rLockHi, rQnHi, rT0, rT1, rT2);
+        // Move min(balance, amount) from lo to hi.
+        b.ld(rT0, rBalLo);
+        b.blt(rAmt, rT0, "enough");
+        b.mov(rAmt, rT0); // cap at the available balance
+        b.label("enough");
+        b.sub(rT0, rT0, rAmt);
+        b.st(rT0, rBalLo);
+        b.ld(rT1, rBalHi);
+        b.add(rT1, rT1, rAmt);
+        b.st(rT1, rBalHi);
+        emitRelease(b, kind, rLockHi, rQnHi, rT0, rT1);
+        emitRelease(b, kind, rLockLo, rQnLo, rT0, rT1);
+
+        b.li(rT0, 32);
+        b.rnd(rT1, rT0);
+        b.delay(rT1);
+        b.addi(rIter, rIter, -1);
+        b.bne(rIter, 0, "loop");
+        b.halt();
+        wl.programs.push_back(b.build());
+    }
+
+    const std::uint64_t expected =
+        initBalance * static_cast<std::uint64_t>(accounts);
+    wl.validate = [balBase, accounts, expected](System &sys) {
+        std::uint64_t sum = 0;
+        for (unsigned i = 0; i < accounts; ++i)
+            sum += readCoherent(sys, balBase +
+                                         static_cast<Addr>(i) * lineBytes);
+        return sum == expected; // money is neither created nor lost
+    };
+    return wl;
+}
+
+Workload
+makeOctreeInsert(int num_cpus, unsigned depth,
+                 std::uint64_t inserts_per_cpu, LockKind kind)
+{
+    // Node record: [lock line][count line][children line: 8 pointers].
+    constexpr std::int64_t countOff = 64;
+    constexpr std::int64_t childrenOff = 128;
+
+    Layout lay;
+    std::vector<Addr> nodes;      // breadth-first
+    std::vector<unsigned> levelStart{0};
+    unsigned levelCount = 1;
+    for (unsigned d = 0; d <= depth; ++d) {
+        for (unsigned i = 0; i < levelCount; ++i) {
+            Addr n = lay.allocLines(3);
+            lay.registerSyncAddr(n); // the lock line
+            nodes.push_back(n);
+        }
+        levelStart.push_back(static_cast<unsigned>(nodes.size()));
+        levelCount *= 8;
+    }
+
+    // MCS: one queue node per (cpu, tree node) would be huge; MCS is
+    // supported only for the test&test&set kind here.
+    if (kind != LockKind::TestAndTestAndSet)
+        fatal("octree workload supports test&test&set locks only");
+
+    Workload wl;
+    wl.name = "octree-insert";
+    wl.lockClassifier = lay.classifier();
+    std::vector<Addr> nodesCopy = nodes;
+    std::vector<unsigned> lsCopy = levelStart;
+    unsigned depthCopy = depth;
+    wl.init = [nodesCopy, lsCopy, depthCopy](BackingStore &mem) {
+        // Wire up children pointers breadth-first.
+        for (unsigned d = 0; d < depthCopy; ++d) {
+            unsigned start = lsCopy[d];
+            unsigned count = lsCopy[d + 1] - start;
+            for (unsigned i = 0; i < count; ++i) {
+                Addr parent = nodesCopy[start + i];
+                for (unsigned ch = 0; ch < 8; ++ch) {
+                    unsigned childIdx = lsCopy[d + 1] + i * 8 + ch;
+                    mem.writeWord(parent +
+                                      static_cast<Addr>(childrenOff) +
+                                      8 * ch,
+                                  nodesCopy[childIdx]);
+                }
+            }
+        }
+    };
+
+    Addr root = nodes.front();
+    for (int c = 0; c < num_cpus; ++c) {
+        ProgramBuilder b;
+        b.li(rIter, static_cast<std::int64_t>(inserts_per_cpu));
+        b.label("loop");
+        // Biased-shallow target depth: rnd(rnd(depth+1)+1), like the
+        // upper levels of barnes' space octree.
+        b.li(rT0, depth + 1);
+        b.rnd(rT1, rT0);
+        b.addi(rT1, rT1, 1);
+        b.rnd(rDepth, rT1);
+        // Pointer-chase from the root.
+        b.li(rCur, static_cast<std::int64_t>(root));
+        b.label("walk");
+        b.beq(rDepth, 0, "arrived");
+        b.li(rT0, 8);
+        b.rnd(rT1, rT0);          // child index
+        b.slli(rT1, rT1, 3);
+        b.addi(rT2, rCur, childrenOff);
+        b.add(rT2, rT2, rT1);
+        b.ld(rCur, rT2);          // follow the pointer
+        b.addi(rDepth, rDepth, -1);
+        b.jmp("walk");
+        b.label("arrived");
+        // Lock the node, update its body count.
+        emitTtsAcquire(b, rCur, rT0, rT1);
+        b.ld(rVal, rCur, countOff);
+        b.addi(rVal, rVal, 1);
+        b.st(rVal, rCur, countOff);
+        emitTtsRelease(b, rCur);
+        b.li(rT0, 64);
+        b.rnd(rT1, rT0);
+        b.delay(rT1);
+        b.addi(rIter, rIter, -1);
+        b.bne(rIter, 0, "loop");
+        b.halt();
+        wl.programs.push_back(b.build());
+    }
+
+    const std::uint64_t expected =
+        inserts_per_cpu * static_cast<std::uint64_t>(num_cpus);
+    wl.validate = [nodesCopy, expected](System &sys) {
+        std::uint64_t sum = 0;
+        for (Addr n : nodesCopy)
+            sum += readCoherent(sys, n + 64);
+        return sum == expected;
+    };
+    return wl;
+}
+
+Workload
+makeHistoryCounter(int num_cpus, std::uint64_t per_cpu, LockKind kind)
+{
+    Layout lay;
+    Addr lock = lay.allocLock();
+    Addr counter = lay.allocLine();
+    std::vector<Addr> logs; // per-cpu observation logs
+    for (int c = 0; c < num_cpus; ++c)
+        logs.push_back(lay.alloc(per_cpu * 8, lineBytes));
+    std::vector<Addr> qn;
+    if (kind == LockKind::Mcs) {
+        for (int c = 0; c < num_cpus; ++c) {
+            Addr a = lay.allocLine();
+            lay.registerSyncAddr(a);
+            qn.push_back(a);
+        }
+    }
+
+    Workload wl;
+    wl.name = "history-counter";
+    wl.lockClassifier = lay.classifier();
+    for (int c = 0; c < num_cpus; ++c) {
+        ProgramBuilder b;
+        b.li(rLockLo, static_cast<std::int64_t>(lock));
+        if (kind == LockKind::Mcs)
+            b.li(rQnLo,
+                 static_cast<std::int64_t>(qn[static_cast<size_t>(c)]));
+        b.li(rT2, static_cast<std::int64_t>(counter));
+        b.li(rLog, static_cast<std::int64_t>(logs[static_cast<size_t>(
+                       c)]));
+        b.li(rIter, static_cast<std::int64_t>(per_cpu));
+        b.label("loop");
+        emitAcquire(b, kind, rLockLo, rQnLo, rT0, rT1, rDepth);
+        b.ld(rVal, rT2);          // observe
+        b.st(rVal, rLog);         // log the observation
+        b.addi(rVal, rVal, 1);
+        b.st(rVal, rT2);          // increment
+        emitRelease(b, kind, rLockLo, rQnLo, rT0, rT1);
+        b.addi(rLog, rLog, 8);
+        b.li(rT0, 48);
+        b.rnd(rT1, rT0);
+        b.delay(rT1);
+        b.addi(rIter, rIter, -1);
+        b.bne(rIter, 0, "loop");
+        b.halt();
+        wl.programs.push_back(b.build());
+    }
+
+    const std::uint64_t total =
+        per_cpu * static_cast<std::uint64_t>(num_cpus);
+    std::vector<Addr> logsCopy = logs;
+    wl.validate = [logsCopy, per_cpu, total](System &sys) {
+        // Serialization witness: every value 0..total-1 observed
+        // exactly once across all critical sections.
+        std::vector<bool> seen(total, false);
+        for (Addr base : logsCopy) {
+            for (std::uint64_t k = 0; k < per_cpu; ++k) {
+                std::uint64_t v = readCoherent(sys, base + 8 * k);
+                if (v >= total || seen[v])
+                    return false;
+                seen[v] = true;
+            }
+        }
+        return true;
+    };
+    return wl;
+}
+
+} // namespace tlr

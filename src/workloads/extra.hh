@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Additional realistic workloads beyond the paper's evaluation set.
+ *
+ *  - Bank transfers: N line-padded accounts, one lock per account;
+ *    each transfer acquires the two locks in address order (the
+ *    classic deadlock-free nesting discipline) and moves money. This
+ *    exercises nested elision (paper Section 4) at scale, and its
+ *    validation — exact conservation of the total balance — is a
+ *    sharp failure-atomicity witness.
+ *
+ *  - Octree inserts: a preallocated 8-ary tree walked by pointer
+ *    chasing from the root to a random node (biased shallow, like the
+ *    upper levels of barnes' space octree); the node is locked and
+ *    its body count updated. Contention concentrates near the root
+ *    exactly as the paper describes for barnes (Section 6.3).
+ *
+ *  - Serializability history: every critical section logs the counter
+ *    value it observed into a private slot; validation checks the
+ *    union of all logs is exactly {0 .. total-1} — a complete
+ *    serialization witness, far stronger than checking the final sum.
+ */
+
+#ifndef TLR_WORKLOADS_EXTRA_HH
+#define TLR_WORKLOADS_EXTRA_HH
+
+#include "sync/lock_progs.hh"
+#include "workloads/workload.hh"
+
+namespace tlr
+{
+
+/** Bank-transfer workload. Total balance must be conserved. */
+Workload makeBankTransfer(int num_cpus, unsigned accounts,
+                          std::uint64_t transfers_per_cpu,
+                          LockKind kind = LockKind::TestAndTestAndSet);
+
+/** Octree-insert workload (barnes-like tree-node locking). */
+Workload makeOctreeInsert(int num_cpus, unsigned depth,
+                          std::uint64_t inserts_per_cpu,
+                          LockKind kind = LockKind::TestAndTestAndSet);
+
+/** Single counter whose critical sections log the observed value;
+ *  validation is a full serialization witness. */
+Workload makeHistoryCounter(int num_cpus, std::uint64_t per_cpu,
+                            LockKind kind = LockKind::TestAndTestAndSet);
+
+} // namespace tlr
+
+#endif // TLR_WORKLOADS_EXTRA_HH

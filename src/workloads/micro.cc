@@ -1,0 +1,244 @@
+#include "workloads/micro.hh"
+
+#include "harness/system.hh"
+#include "sim/logging.hh"
+#include "sync/layout.hh"
+
+namespace tlr
+{
+
+namespace
+{
+
+// Register conventions shared by the generated programs.
+constexpr Reg rLock = 1;
+constexpr Reg rQn = 2;
+constexpr Reg rAddr = 3;
+constexpr Reg rIter = 4;
+constexpr Reg rVal = 5;
+constexpr Reg rT0 = 6;
+constexpr Reg rT1 = 7;
+constexpr Reg rT2 = 8;
+constexpr Reg rDel = 9;
+constexpr Reg rHead = 10;
+constexpr Reg rTail = 11;
+constexpr Reg rH = 12;
+constexpr Reg rN = 13;
+constexpr Reg rT = 14;
+
+void
+emitRandomDelay(ProgramBuilder &b, unsigned max_delay)
+{
+    if (max_delay == 0)
+        return;
+    b.li(rDel, max_delay);
+    b.rnd(rT0, rDel);
+    b.delay(rT0);
+}
+
+std::uint64_t
+perCpuOps(const MicroParams &p)
+{
+    std::uint64_t per = p.totalOps / static_cast<std::uint64_t>(p.numCpus);
+    return per == 0 ? 1 : per;
+}
+
+/** Allocate MCS queue nodes (one per cpu) when needed. */
+std::vector<Addr>
+allocQnodes(Layout &lay, const MicroParams &p)
+{
+    std::vector<Addr> qn;
+    if (p.lockKind == LockKind::Mcs) {
+        for (int i = 0; i < p.numCpus; ++i) {
+            Addr a = lay.allocLine();
+            lay.registerSyncAddr(a);
+            qn.push_back(a);
+        }
+    }
+    return qn;
+}
+
+} // namespace
+
+Workload
+makeMultipleCounter(const MicroParams &p)
+{
+    Layout lay;
+    Addr lock = lay.allocLock();
+    std::vector<Addr> counters;
+    for (int i = 0; i < p.numCpus; ++i)
+        counters.push_back(lay.allocLine());
+    std::vector<Addr> qn = allocQnodes(lay, p);
+    const std::uint64_t per = perCpuOps(p);
+
+    Workload wl;
+    wl.name = "multiple-counter";
+    wl.lockClassifier = lay.classifier();
+    for (int i = 0; i < p.numCpus; ++i) {
+        ProgramBuilder b;
+        b.li(rLock, static_cast<std::int64_t>(lock));
+        if (p.lockKind == LockKind::Mcs)
+            b.li(rQn, static_cast<std::int64_t>(qn[static_cast<size_t>(i)]));
+        b.li(rAddr,
+             static_cast<std::int64_t>(counters[static_cast<size_t>(i)]));
+        b.li(rIter, static_cast<std::int64_t>(per));
+        b.label("loop");
+        emitAcquire(b, p.lockKind, rLock, rQn, rT0, rT1, rT2);
+        b.ld(rVal, rAddr);
+        b.addi(rVal, rVal, 1);
+        b.st(rVal, rAddr);
+        emitRelease(b, p.lockKind, rLock, rQn, rT0, rT1);
+        emitRandomDelay(b, p.postReleaseDelayMax);
+        b.addi(rIter, rIter, -1);
+        b.bne(rIter, 0, "loop");
+        b.halt();
+        wl.programs.push_back(b.build());
+    }
+    wl.validate = [counters, per](System &sys) {
+        for (Addr c : counters)
+            if (readCoherent(sys, c) != per)
+                return false;
+        return true;
+    };
+    return wl;
+}
+
+Workload
+makeSingleCounter(const MicroParams &p)
+{
+    Layout lay;
+    Addr lock = lay.allocLock();
+    Addr counter = lay.allocLine();
+    std::vector<Addr> qn = allocQnodes(lay, p);
+    const std::uint64_t per = perCpuOps(p);
+
+    Workload wl;
+    wl.name = "single-counter";
+    wl.lockClassifier = lay.classifier();
+    for (int i = 0; i < p.numCpus; ++i) {
+        ProgramBuilder b;
+        b.li(rLock, static_cast<std::int64_t>(lock));
+        if (p.lockKind == LockKind::Mcs)
+            b.li(rQn, static_cast<std::int64_t>(qn[static_cast<size_t>(i)]));
+        b.li(rAddr, static_cast<std::int64_t>(counter));
+        b.li(rIter, static_cast<std::int64_t>(per));
+        b.label("loop");
+        emitAcquire(b, p.lockKind, rLock, rQn, rT0, rT1, rT2);
+        b.ld(rVal, rAddr);
+        b.addi(rVal, rVal, 1);
+        b.st(rVal, rAddr);
+        emitRelease(b, p.lockKind, rLock, rQn, rT0, rT1);
+        emitRandomDelay(b, p.postReleaseDelayMax);
+        b.addi(rIter, rIter, -1);
+        b.bne(rIter, 0, "loop");
+        b.halt();
+        wl.programs.push_back(b.build());
+    }
+    const std::uint64_t expected =
+        per * static_cast<std::uint64_t>(p.numCpus);
+    wl.validate = [counter, expected](System &sys) {
+        return readCoherent(sys, counter) == expected;
+    };
+    return wl;
+}
+
+Workload
+makeDoublyLinkedList(const MicroParams &p)
+{
+    constexpr std::int64_t nextOff = 0;
+    constexpr std::int64_t prevOff = 8;
+
+    Layout lay;
+    Addr lock = lay.allocLock();
+    Addr headAddr = lay.allocLine();
+    Addr tailAddr = lay.allocLine();
+    std::vector<Addr> nodes;
+    for (int i = 0; i < p.numCpus; ++i)
+        nodes.push_back(lay.allocLine());
+    std::vector<Addr> qn = allocQnodes(lay, p);
+    const std::uint64_t per = perCpuOps(p);
+
+    Workload wl;
+    wl.name = "doubly-linked-list";
+    wl.lockClassifier = lay.classifier();
+    wl.init = [headAddr, tailAddr, nodes](BackingStore &mem) {
+        for (size_t i = 0; i < nodes.size(); ++i) {
+            Addr next = i + 1 < nodes.size() ? nodes[i + 1] : 0;
+            Addr prev = i > 0 ? nodes[i - 1] : 0;
+            mem.writeWord(nodes[i] + static_cast<Addr>(nextOff), next);
+            mem.writeWord(nodes[i] + static_cast<Addr>(prevOff), prev);
+        }
+        mem.writeWord(headAddr, nodes.front());
+        mem.writeWord(tailAddr, nodes.back());
+    };
+
+    for (int i = 0; i < p.numCpus; ++i) {
+        ProgramBuilder b;
+        b.li(rLock, static_cast<std::int64_t>(lock));
+        if (p.lockKind == LockKind::Mcs)
+            b.li(rQn, static_cast<std::int64_t>(qn[static_cast<size_t>(i)]));
+        b.li(rHead, static_cast<std::int64_t>(headAddr));
+        b.li(rTail, static_cast<std::int64_t>(tailAddr));
+        b.li(rIter, static_cast<std::int64_t>(per));
+
+        b.label("loop");
+        // --- dequeue transaction: remove the node at Head ----------
+        b.label("deq_retry");
+        emitAcquire(b, p.lockKind, rLock, rQn, rT0, rT1, rT2);
+        b.ld(rH, rHead);
+        b.bne(rH, 0, "have_item");
+        emitRelease(b, p.lockKind, rLock, rQn, rT0, rT1);
+        emitRandomDelay(b, p.postReleaseDelayMax);
+        b.jmp("deq_retry");
+        b.label("have_item");
+        b.ld(rN, rH, nextOff);
+        b.st(rN, rHead);
+        b.bne(rN, 0, "fixprev");
+        b.st(0, rTail); // removed the last item: queue is now empty
+        b.jmp("deq_done");
+        b.label("fixprev");
+        b.st(0, rN, prevOff);
+        b.label("deq_done");
+        emitRelease(b, p.lockKind, rLock, rQn, rT0, rT1);
+        emitRandomDelay(b, p.postReleaseDelayMax);
+
+        // --- enqueue transaction: append the node at Tail ----------
+        emitAcquire(b, p.lockKind, rLock, rQn, rT0, rT1, rT2);
+        b.ld(rT, rTail);
+        b.st(0, rH, nextOff);
+        b.st(rT, rH, prevOff);
+        b.st(rH, rTail);
+        b.bne(rT, 0, "linkpred");
+        b.st(rH, rHead); // queue was empty
+        b.jmp("enq_done");
+        b.label("linkpred");
+        b.st(rH, rT, nextOff);
+        b.label("enq_done");
+        emitRelease(b, p.lockKind, rLock, rQn, rT0, rT1);
+        emitRandomDelay(b, p.postReleaseDelayMax);
+
+        b.addi(rIter, rIter, -1);
+        b.bne(rIter, 0, "loop");
+        b.halt();
+        wl.programs.push_back(b.build());
+    }
+
+    const size_t expectedCount = nodes.size();
+    wl.validate = [headAddr, tailAddr, expectedCount](System &sys) {
+        Addr cur = readCoherent(sys, headAddr);
+        Addr prev = 0;
+        size_t count = 0;
+        while (cur != 0 && count <= expectedCount) {
+            if (readCoherent(sys, cur + 8) != prev)
+                return false; // prev pointer corrupted
+            prev = cur;
+            cur = readCoherent(sys, cur + 0);
+            ++count;
+        }
+        return count == expectedCount &&
+               readCoherent(sys, tailAddr) == prev;
+    };
+    return wl;
+}
+
+} // namespace tlr

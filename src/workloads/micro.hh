@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The paper's three microbenchmarks (Section 5.1):
+ *
+ *  - multiple-counter: coarse-grain lock, no data conflicts. One lock
+ *    protects n counters; each processor updates only its own counter.
+ *  - single-counter: fine-grain, high conflict. One lock, one counter,
+ *    every processor increments the same cache line.
+ *  - doubly-linked list: fine-grain, dynamic conflicts. One lock
+ *    protects a head/tail queue; dequeues touch Head, enqueues Tail,
+ *    and only the empty transitions touch both.
+ *
+ * Total work is held constant across processor counts, and each
+ * release is followed by a random delay so another processor gets a
+ * chance at the lock (the Kumar et al. fairness methodology the paper
+ * adopts).
+ */
+
+#ifndef TLR_WORKLOADS_MICRO_HH
+#define TLR_WORKLOADS_MICRO_HH
+
+#include "sync/lock_progs.hh"
+#include "workloads/workload.hh"
+
+namespace tlr
+{
+
+struct MicroParams
+{
+    int numCpus = 16;
+    LockKind lockKind = LockKind::TestAndTestAndSet;
+    std::uint64_t totalOps = 1u << 12; ///< divided among processors
+    unsigned postReleaseDelayMax = 64; ///< random wait after release
+};
+
+Workload makeMultipleCounter(const MicroParams &p);
+Workload makeSingleCounter(const MicroParams &p);
+Workload makeDoublyLinkedList(const MicroParams &p);
+
+} // namespace tlr
+
+#endif // TLR_WORKLOADS_MICRO_HH

@@ -1,0 +1,99 @@
+#include "workloads/scenarios.hh"
+
+#include "harness/system.hh"
+#include "sync/layout.hh"
+#include "sync/lock_progs.hh"
+
+namespace tlr
+{
+
+namespace
+{
+
+constexpr Reg rLock = 1;
+constexpr Reg rA = 2;
+constexpr Reg rB = 3;
+constexpr Reg rT0 = 4;
+constexpr Reg rT1 = 5;
+constexpr Reg rV = 6;
+constexpr Reg rIter = 7;
+
+} // namespace
+
+Workload
+makeReverseWriters(int num_cpus, std::uint64_t iters_per_cpu)
+{
+    Layout lay;
+    Addr lock = lay.allocLock();
+    Addr a = lay.allocLine();
+    Addr b = lay.allocLine();
+
+    Workload wl;
+    wl.name = "reverse-writers";
+    wl.lockClassifier = lay.classifier();
+    for (int c = 0; c < num_cpus; ++c) {
+        ProgramBuilder pb;
+        pb.li(rLock, static_cast<std::int64_t>(lock));
+        pb.li(rA, static_cast<std::int64_t>(c % 2 ? b : a));
+        pb.li(rB, static_cast<std::int64_t>(c % 2 ? a : b));
+        pb.li(rIter, static_cast<std::int64_t>(iters_per_cpu));
+        pb.label("loop");
+        emitTtsAcquire(pb, rLock, rT0, rT1);
+        pb.ld(rV, rA).addi(rV, rV, 1).st(rV, rA);
+        pb.ld(rV, rB).addi(rV, rV, 1).st(rV, rB);
+        emitTtsRelease(pb, rLock);
+        pb.addi(rIter, rIter, -1);
+        pb.bne(rIter, 0, "loop");
+        pb.halt();
+        wl.programs.push_back(pb.build());
+    }
+    const std::uint64_t expected =
+        iters_per_cpu * static_cast<std::uint64_t>(num_cpus);
+    wl.validate = [a, b, expected](System &sys) {
+        return readCoherent(sys, a) == expected &&
+               readCoherent(sys, b) == expected;
+    };
+    return wl;
+}
+
+Workload
+makeRotatedBlocks(int num_cpus, std::uint64_t iters_per_cpu)
+{
+    Layout lay;
+    Addr lock = lay.allocLock();
+    std::vector<Addr> blocks{lay.allocLine(), lay.allocLine(),
+                             lay.allocLine()};
+
+    Workload wl;
+    wl.name = "rotated-blocks";
+    wl.lockClassifier = lay.classifier();
+    for (int c = 0; c < num_cpus; ++c) {
+        ProgramBuilder pb;
+        pb.li(rLock, static_cast<std::int64_t>(lock));
+        pb.li(rIter, static_cast<std::int64_t>(iters_per_cpu));
+        pb.label("loop");
+        emitTtsAcquire(pb, rLock, rT0, rT1);
+        for (size_t k = 0; k < blocks.size(); ++k) {
+            Addr t = blocks[(static_cast<size_t>(c) + k) % blocks.size()];
+            pb.li(rA, static_cast<std::int64_t>(t));
+            pb.ld(rV, rA).addi(rV, rV, 1).st(rV, rA);
+        }
+        emitTtsRelease(pb, rLock);
+        pb.addi(rIter, rIter, -1);
+        pb.bne(rIter, 0, "loop");
+        pb.halt();
+        wl.programs.push_back(pb.build());
+    }
+    const std::uint64_t expected =
+        iters_per_cpu * static_cast<std::uint64_t>(num_cpus);
+    std::vector<Addr> blocksCopy = blocks;
+    wl.validate = [blocksCopy, expected](System &sys) {
+        for (Addr t : blocksCopy)
+            if (readCoherent(sys, t) != expected)
+                return false;
+        return true;
+    };
+    return wl;
+}
+
+} // namespace tlr

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Small hand-crafted scenarios from the paper's figures:
+ *
+ *  - reverse-order writers (Figures 2 and 4): every processor's
+ *    critical section increments two shared locations, with odd
+ *    processors writing them in the opposite order — the canonical
+ *    livelock under restart-only speculation, resolved by TLR.
+ *  - rotated multi-block writers (Figure 6 generalization): each
+ *    processor touches three blocks starting at a different offset,
+ *    building the ownership chains that need marker/probe resolution.
+ */
+
+#ifndef TLR_WORKLOADS_SCENARIOS_HH
+#define TLR_WORKLOADS_SCENARIOS_HH
+
+#include "workloads/workload.hh"
+
+namespace tlr
+{
+
+/** Figures 2/4 workload. Locations A and B end up at
+ *  cpus * iters each when execution is correct. */
+Workload makeReverseWriters(int num_cpus, std::uint64_t iters_per_cpu);
+
+/** Figure 6 style rotated three-block critical sections. */
+Workload makeRotatedBlocks(int num_cpus, std::uint64_t iters_per_cpu);
+
+} // namespace tlr
+
+#endif // TLR_WORKLOADS_SCENARIOS_HH

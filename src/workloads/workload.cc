@@ -1,0 +1,35 @@
+#include "workloads/workload.hh"
+
+#include "harness/system.hh"
+#include "sim/logging.hh"
+
+namespace tlr
+{
+
+void
+installWorkload(System &sys, const Workload &wl)
+{
+    if (static_cast<int>(wl.programs.size()) != sys.numCpus())
+        fatal("workload '%s' built for %zu cpus, system has %d",
+              wl.name.c_str(), wl.programs.size(), sys.numCpus());
+    for (int i = 0; i < sys.numCpus(); ++i)
+        sys.setProgram(i, wl.programs[static_cast<size_t>(i)]);
+    if (wl.lockClassifier)
+        sys.setLockClassifier(wl.lockClassifier);
+    if (wl.init)
+        wl.init(sys.memory());
+}
+
+std::uint64_t
+readCoherent(System &sys, Addr addr)
+{
+    for (int i = 0; i < sys.numCpus(); ++i) {
+        CohState st = sys.l1(i).lineState(addr);
+        if (isOwnerState(st))
+            return sys.l1(i).peekWord(addr);
+    }
+    // No L1 owner: a Shared copy (if any) matches memory by invariant.
+    return sys.memory().readWord(addr);
+}
+
+} // namespace tlr

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Workload abstraction: per-cpu programs plus initialization and
+ * validation hooks. Validation reads coherent memory after the run,
+ * so it checks end-to-end data correctness through the protocol, the
+ * write buffers and the commit path — not just timing.
+ */
+
+#ifndef TLR_WORKLOADS_WORKLOAD_HH
+#define TLR_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cpu/program.hh"
+#include "mem/backing_store.hh"
+#include "sim/types.hh"
+
+namespace tlr
+{
+
+class System;
+
+struct Workload
+{
+    std::string name;
+    std::vector<ProgramPtr> programs;            ///< one per cpu
+    std::function<bool(Addr)> lockClassifier;    ///< stall attribution
+    std::function<void(BackingStore &)> init;    ///< pre-run memory image
+    std::function<bool(System &)> validate;      ///< post-run invariants
+};
+
+/** Install a workload into a system (programs + classifier + init). */
+void installWorkload(System &sys, const Workload &wl);
+
+/** Read a word coherently: owner L1 copy if one exists, else memory. */
+std::uint64_t readCoherent(System &sys, Addr addr);
+
+} // namespace tlr
+
+#endif // TLR_WORKLOADS_WORKLOAD_HH

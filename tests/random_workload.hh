@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Shared randomized-workload generator for the stress suites (both
+ * interconnect protocols): random processor counts, lock pools,
+ * critical-section shapes, nesting and think times, with a
+ * deterministically recomputable expected counter total.
+ */
+
+#ifndef TLR_TESTS_RANDOM_WORKLOAD_HH
+#define TLR_TESTS_RANDOM_WORKLOAD_HH
+
+#include "harness/scheme.hh"
+#include "harness/system.hh"
+#include "sim/rng.hh"
+#include "sync/layout.hh"
+#include "sync/lock_progs.hh"
+#include "workloads/workload.hh"
+
+namespace tlrtest
+{
+
+using namespace tlr;
+
+
+constexpr Reg rIter = 1;
+constexpr Reg rLock = 2;
+constexpr Reg rQn = 3;
+constexpr Reg rAddr = 4;
+constexpr Reg rVal = 5;
+constexpr Reg rT0 = 6;
+constexpr Reg rT1 = 7;
+constexpr Reg rT2 = 8;
+constexpr Reg rSel = 9;
+constexpr Reg rN = 10;
+constexpr Reg rLock2 = 11;
+
+/** A randomly shaped lock-based workload. */
+inline Workload
+makeRandomWorkload(std::uint64_t seed, int &cpus_out, LockKind kind)
+{
+    Rng rng(seed * 2654435761ull + 17);
+    const int cpus = static_cast<int>(rng.range(2, 8));
+    const unsigned numLocks = static_cast<unsigned>(rng.range(1, 4));
+    const unsigned blocksPerLock = static_cast<unsigned>(rng.range(1, 3));
+    const unsigned iters = static_cast<unsigned>(rng.range(8, 40));
+    const unsigned delayMax = static_cast<unsigned>(rng.range(0, 80));
+    const bool nested = numLocks >= 2 && rng.below(2) == 0;
+    cpus_out = cpus;
+
+    Layout lay;
+    std::vector<Addr> locks;
+    for (unsigned i = 0; i < numLocks; ++i)
+        locks.push_back(lay.allocLock());
+    std::vector<Addr> blocks; // blocksPerLock lines per lock
+    for (unsigned i = 0; i < numLocks * blocksPerLock; ++i)
+        blocks.push_back(lay.allocLine());
+    std::vector<std::vector<Addr>> qnodes; // [cpu][lock]
+    if (kind == LockKind::Mcs) {
+        for (int c = 0; c < cpus; ++c) {
+            std::vector<Addr> qs;
+            for (unsigned i = 0; i < numLocks; ++i) {
+                Addr q = lay.allocLine();
+                lay.registerSyncAddr(q);
+                qs.push_back(q);
+            }
+            qnodes.push_back(qs);
+        }
+    }
+
+    Workload wl;
+    wl.name = "random-" + std::to_string(seed);
+    wl.lockClassifier = lay.classifier();
+
+    for (int c = 0; c < cpus; ++c) {
+        Rng prng = rng.fork(static_cast<std::uint64_t>(c) + 100);
+        ProgramBuilder b;
+        b.li(rIter, iters);
+        b.label("loop");
+        // Pick a lock (varies per iteration via the runtime RNG).
+        unsigned lockIdx =
+            static_cast<unsigned>(prng.below(numLocks));
+        b.li(rLock, static_cast<std::int64_t>(locks[lockIdx]));
+        if (kind == LockKind::Mcs)
+            b.li(rQn, static_cast<std::int64_t>(
+                          qnodes[static_cast<size_t>(c)][lockIdx]));
+        emitAcquire(b, kind, rLock, rQn, rT0, rT1, rT2);
+        // Optionally nest a second (strictly higher-index) lock so no
+        // lock-order deadlock is possible.
+        unsigned lock2Idx = 0;
+        bool doNest = nested && kind == LockKind::TestAndTestAndSet &&
+                      lockIdx + 1 < numLocks;
+        if (doNest) {
+            lock2Idx = lockIdx + 1;
+            b.li(rLock2, static_cast<std::int64_t>(locks[lock2Idx]));
+            emitAcquire(b, kind, rLock2, rQn, rT0, rT1, rT2);
+        }
+        // Touch 1..blocksPerLock counters of the outer lock's region.
+        unsigned touches =
+            1 + static_cast<unsigned>(prng.below(blocksPerLock));
+        for (unsigned t = 0; t < touches; ++t) {
+            Addr a = blocks[lockIdx * blocksPerLock + t];
+            b.li(rAddr, static_cast<std::int64_t>(a));
+            b.ld(rVal, rAddr);
+            b.addi(rVal, rVal, 1);
+            b.st(rVal, rAddr);
+        }
+        if (doNest) {
+            Addr a = blocks[lock2Idx * blocksPerLock];
+            b.li(rAddr, static_cast<std::int64_t>(a));
+            b.ld(rVal, rAddr);
+            b.addi(rVal, rVal, 1);
+            b.st(rVal, rAddr);
+            emitTtsRelease(b, rLock2);
+        }
+        emitRelease(b, kind, rLock, rQn, rT0, rT1);
+        if (delayMax > 0) {
+            b.li(rT0, delayMax);
+            b.rnd(rT1, rT0);
+            b.delay(rT1);
+        }
+        b.addi(rIter, rIter, -1);
+        b.bne(rIter, 0, "loop");
+        b.halt();
+        wl.programs.push_back(b.build());
+    }
+
+    // Validation: total increments across all blocks must equal the
+    // total number of touches, which we recompute deterministically
+    // from the same per-cpu RNG streams.
+    std::uint64_t expected = 0;
+    for (int c = 0; c < cpus; ++c) {
+        Rng prng = rng.fork(static_cast<std::uint64_t>(c) + 100);
+        unsigned lockIdx = static_cast<unsigned>(prng.below(numLocks));
+        bool doNest = nested && kind == LockKind::TestAndTestAndSet &&
+                      lockIdx + 1 < numLocks;
+        unsigned touches =
+            1 + static_cast<unsigned>(prng.below(blocksPerLock));
+        expected += (touches + (doNest ? 1 : 0)) *
+                    static_cast<std::uint64_t>(iters);
+    }
+    std::vector<Addr> blocksCopy = blocks;
+    wl.validate = [blocksCopy, expected](System &sys) {
+        std::uint64_t sum = 0;
+        for (Addr a : blocksCopy)
+            sum += readCoherent(sys, a);
+        return sum == expected;
+    };
+    return wl;
+}
+
+} // namespace tlrtest
+
+#endif // TLR_TESTS_RANDOM_WORKLOAD_HH

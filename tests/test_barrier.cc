@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Barrier tests: phased execution must observe every prior phase's
+ * writes, under every scheme — including the LL/SC barrier whose
+ * arrival increment matches SLE's elision idiom and must be rescued
+ * by the non-committing-region retry cap (a transaction containing a
+ * spin-wait can never commit).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/scheme.hh"
+#include "harness/system.hh"
+#include "sync/barrier.hh"
+#include "sync/layout.hh"
+#include "workloads/workload.hh"
+
+using namespace tlr;
+
+namespace
+{
+
+constexpr Reg rCount = 1;
+constexpr Reg rSense = 2;
+constexpr Reg rLs = 3;    // local sense
+constexpr Reg rT0 = 4;
+constexpr Reg rT1 = 5;
+constexpr Reg rAddr = 6;
+constexpr Reg rVal = 7;
+constexpr Reg rSum = 8;
+
+/**
+ * Phased workload: in phase k, every cpu increments its slot of a
+ * phase-k array; after the barrier it sums the WHOLE phase-k array and
+ * accumulates it. If any cpu passes a barrier early, some slot is
+ * still 0 and the final per-cpu sum comes out short.
+ */
+Workload
+makePhased(int cpus, int phases, bool use_amo)
+{
+    Layout lay;
+    Addr count = lay.allocLock();
+    Addr sense = lay.allocLock();
+    std::vector<Addr> phaseArr;
+    for (int ph = 0; ph < phases; ++ph)
+        phaseArr.push_back(lay.allocLines(static_cast<unsigned>(cpus)));
+
+    Workload wl;
+    wl.name = "phased-barrier";
+    wl.lockClassifier = lay.classifier();
+    for (int c = 0; c < cpus; ++c) {
+        ProgramBuilder b;
+        b.li(rCount, static_cast<std::int64_t>(count));
+        b.li(rSense, static_cast<std::int64_t>(sense));
+        b.li(rLs, 0);
+        b.li(rSum, 0);
+        for (int ph = 0; ph < phases; ++ph) {
+            Addr mySlot = phaseArr[static_cast<size_t>(ph)] +
+                          static_cast<Addr>(c) * lineBytes;
+            b.li(rAddr, static_cast<std::int64_t>(mySlot));
+            b.li(rVal, ph + 1);
+            b.st(rVal, rAddr);
+            if (use_amo)
+                emitBarrierAmo(b, rCount, rSense, rLs, cpus, rT0, rT1);
+            else
+                emitBarrierLlSc(b, rCount, rSense, rLs, cpus, rT0, rT1);
+            // Sum the whole phase array: every slot must be visible.
+            for (int other = 0; other < cpus; ++other) {
+                Addr slot = phaseArr[static_cast<size_t>(ph)] +
+                            static_cast<Addr>(other) * lineBytes;
+                b.li(rAddr, static_cast<std::int64_t>(slot));
+                b.ld(rVal, rAddr);
+                b.add(rSum, rSum, rVal);
+            }
+            // A second barrier keeps phases from overlapping.
+            if (use_amo)
+                emitBarrierAmo(b, rCount, rSense, rLs, cpus, rT0, rT1);
+            else
+                emitBarrierLlSc(b, rCount, rSense, rLs, cpus, rT0, rT1);
+        }
+        // Publish the accumulated sum for validation.
+        Addr out = phaseArr[0] + static_cast<Addr>(c) * lineBytes + 8;
+        b.li(rAddr, static_cast<std::int64_t>(out));
+        b.st(rSum, rAddr);
+        b.halt();
+        wl.programs.push_back(b.build());
+    }
+
+    std::uint64_t expect = 0;
+    for (int ph = 0; ph < phases; ++ph)
+        expect += static_cast<std::uint64_t>(cpus) *
+                  static_cast<std::uint64_t>(ph + 1);
+    Addr base = phaseArr[0];
+    wl.validate = [base, cpus, expect](System &sys) {
+        for (int c = 0; c < cpus; ++c) {
+            Addr out = base + static_cast<Addr>(c) * lineBytes + 8;
+            if (readCoherent(sys, out) != expect)
+                return false;
+        }
+        return true;
+    };
+    return wl;
+}
+
+bool
+runPhased(Scheme s, int cpus, int phases, bool use_amo)
+{
+    MachineParams mp;
+    mp.numCpus = cpus;
+    mp.spec = schemeSpecConfig(s);
+    mp.maxTicks = 500'000'000ull;
+    System sys(mp);
+    Workload wl = makePhased(cpus, phases, use_amo);
+    installWorkload(sys, wl);
+    return sys.run() && wl.validate(sys);
+}
+
+} // namespace
+
+TEST(Barrier, AmoBarrierAllSchemes)
+{
+    for (Scheme s : {Scheme::Base, Scheme::BaseSle, Scheme::BaseSleTlr,
+                     Scheme::TlrStrictTs}) {
+        EXPECT_TRUE(runPhased(s, 8, 5, true)) << schemeName(s);
+    }
+}
+
+TEST(Barrier, LlScBarrierBase)
+{
+    EXPECT_TRUE(runPhased(Scheme::Base, 8, 5, false));
+}
+
+TEST(Barrier, LlScBarrierSleFallsBackAndCompletes)
+{
+    // SLE elides the arrival SC, speculates into the sense spin and
+    // keeps conflicting; the retry budget forces real acquisition.
+    EXPECT_TRUE(runPhased(Scheme::BaseSle, 4, 4, false));
+}
+
+TEST(Barrier, LlScBarrierTlrRescuedByRetryCap)
+{
+    // Under TLR the wrongly-elided arrival region can never commit
+    // (it contains a spin-wait); tlrMaxRetries must rescue it.
+    EXPECT_TRUE(runPhased(Scheme::BaseSleTlr, 4, 3, false));
+}
+
+TEST(Barrier, ManyPhasesStayInLockstep)
+{
+    EXPECT_TRUE(runPhased(Scheme::BaseSleTlr, 16, 8, true));
+}

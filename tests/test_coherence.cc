@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Coherence-protocol litmus tests: hand-written programs (no locks)
+ * run on the full system, checking MOESI state transitions, data
+ * transfer between caches, upgrade races, LL/SC atomicity and
+ * writeback behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/system.hh"
+#include "workloads/workload.hh"
+
+using namespace tlr;
+
+namespace
+{
+
+MachineParams
+baseParams(int cpus)
+{
+    MachineParams mp;
+    mp.numCpus = cpus;
+    mp.spec = SpecConfig{}; // no SLE/TLR: raw protocol
+    mp.spec.enableRmwPredictor = false;
+    mp.maxTicks = 10'000'000;
+    return mp;
+}
+
+constexpr Addr addrA = 0x20000;
+constexpr Addr addrB = 0x21000;
+constexpr Addr flagAddr = 0x22000;
+
+/** Program: spin until flag == v, used for cross-cpu ordering. */
+void
+emitWaitFlag(ProgramBuilder &b, std::uint64_t v, Reg t0, Reg t1)
+{
+    std::string spin = b.uniqueLabel("waitflag");
+    b.li(t1, static_cast<std::int64_t>(v));
+    b.li(30, static_cast<std::int64_t>(flagAddr));
+    b.label(spin);
+    b.ld(t0, 30);
+    b.bne(t0, t1, spin);
+}
+
+} // namespace
+
+TEST(Coherence, StoreIsVisibleToOtherCpu)
+{
+    System sys(baseParams(2));
+    {
+        ProgramBuilder b; // producer
+        b.li(1, addrA).li(2, 77).st(2, 1);
+        b.li(1, flagAddr).li(2, 1).st(2, 1);
+        b.halt();
+        sys.setProgram(0, b.build());
+    }
+    {
+        ProgramBuilder b; // consumer
+        emitWaitFlag(b, 1, 3, 4);
+        b.li(1, addrA).ld(5, 1).halt();
+        sys.setProgram(1, b.build());
+    }
+    ASSERT_TRUE(sys.run());
+    EXPECT_EQ(sys.core(1).reg(5), 77u);
+}
+
+TEST(Coherence, ExclusiveOnSoleReader)
+{
+    System sys(baseParams(2));
+    {
+        ProgramBuilder b;
+        b.li(1, addrA).ld(2, 1).halt();
+        sys.setProgram(0, b.build());
+    }
+    {
+        ProgramBuilder b;
+        b.halt();
+        sys.setProgram(1, b.build());
+    }
+    ASSERT_TRUE(sys.run());
+    EXPECT_EQ(sys.l1(0).lineState(addrA), CohState::Exclusive);
+}
+
+TEST(Coherence, ConcurrentReadersGetShared)
+{
+    System sys(baseParams(2));
+    for (int c = 0; c < 2; ++c) {
+        ProgramBuilder b;
+        b.li(1, addrA).ld(2, 1).halt();
+        sys.setProgram(c, b.build());
+    }
+    ASSERT_TRUE(sys.run());
+    // Neither cache may hold the line writable.
+    EXPECT_FALSE(isWritableState(sys.l1(0).lineState(addrA)));
+    EXPECT_FALSE(isWritableState(sys.l1(1).lineState(addrA)));
+    EXPECT_TRUE(isValidState(sys.l1(0).lineState(addrA)));
+    EXPECT_TRUE(isValidState(sys.l1(1).lineState(addrA)));
+}
+
+TEST(Coherence, OwnerSuppliesDirtyDataAndBecomesOwned)
+{
+    System sys(baseParams(2));
+    {
+        ProgramBuilder b; // writer, then raises flag
+        b.li(1, addrA).li(2, 123).st(2, 1);
+        b.li(1, flagAddr).li(2, 1).st(2, 1);
+        b.halt();
+        sys.setProgram(0, b.build());
+    }
+    {
+        ProgramBuilder b; // reader
+        emitWaitFlag(b, 1, 3, 4);
+        b.li(1, addrA).ld(5, 1).halt();
+        sys.setProgram(1, b.build());
+    }
+    ASSERT_TRUE(sys.run());
+    EXPECT_EQ(sys.core(1).reg(5), 123u);
+    // MOESI: the dirty owner downgrades M -> O on a snooped read.
+    EXPECT_EQ(sys.l1(0).lineState(addrA), CohState::Owned);
+    EXPECT_EQ(sys.l1(1).lineState(addrA), CohState::Shared);
+    // Memory was never updated (no writeback happened).
+    EXPECT_EQ(sys.memory().readWord(addrA), 0u);
+}
+
+TEST(Coherence, WriteInvalidatesAllSharers)
+{
+    System sys(baseParams(3));
+    for (int c = 0; c < 2; ++c) {
+        ProgramBuilder b; // two readers
+        b.li(1, addrA).ld(2, 1);
+        b.li(1, flagAddr).li(2, 1).st(2, 1, static_cast<std::int64_t>(
+                                               8 * c));
+        b.halt();
+        sys.setProgram(c, b.build());
+    }
+    {
+        ProgramBuilder b; // writer waits for both readers
+        std::string spin = b.uniqueLabel("w");
+        b.li(30, flagAddr);
+        b.label(spin);
+        b.ld(2, 30, 0).ld(3, 30, 8).add(4, 2, 3).li(5, 2);
+        b.bne(4, 5, spin);
+        b.li(1, addrA).li(2, 9).st(2, 1).halt();
+        sys.setProgram(2, b.build());
+    }
+    ASSERT_TRUE(sys.run());
+    EXPECT_EQ(sys.l1(2).lineState(addrA), CohState::Modified);
+    EXPECT_EQ(sys.l1(0).lineState(addrA), CohState::Invalid);
+    EXPECT_EQ(sys.l1(1).lineState(addrA), CohState::Invalid);
+    EXPECT_EQ(readCoherent(sys, addrA), 9u);
+}
+
+TEST(Coherence, LlScAtomicCountersWithoutLocks)
+{
+    // Four cpus atomically increment a counter with raw LL/SC loops.
+    const int cpus = 4;
+    const int iters = 50;
+    System sys(baseParams(cpus));
+    for (int c = 0; c < cpus; ++c) {
+        ProgramBuilder b;
+        b.li(1, addrA).li(4, iters);
+        b.label("loop");
+        b.label("retry");
+        b.ll(2, 1);
+        b.addi(2, 2, 1);
+        b.sc(3, 2, 1);
+        b.beq(3, 0, "retry");
+        b.addi(4, 4, -1);
+        b.bne(4, 0, "loop");
+        b.halt();
+        sys.setProgram(c, b.build());
+    }
+    ASSERT_TRUE(sys.run());
+    EXPECT_EQ(readCoherent(sys, addrA), static_cast<std::uint64_t>(
+                                            cpus * iters));
+}
+
+TEST(Coherence, UpgradeRaceLosesCleanly)
+{
+    // Both cpus read then write the same line: one upgrade must lose
+    // and convert to GetX; the final value is one of the two stores
+    // and both stores became globally visible in some order.
+    System sys(baseParams(2));
+    for (int c = 0; c < 2; ++c) {
+        ProgramBuilder b;
+        b.li(1, addrA).ld(2, 1); // bring in Shared
+        b.li(3, 100 + c).st(3, 1);
+        b.halt();
+        sys.setProgram(c, b.build());
+    }
+    ASSERT_TRUE(sys.run());
+    std::uint64_t v = readCoherent(sys, addrA);
+    EXPECT_TRUE(v == 100 || v == 101);
+}
+
+TEST(Coherence, CapacityEvictionWritesBack)
+{
+    // Touch ways+1 distinct lines mapping to one set; the evicted
+    // dirty line must reach memory.
+    MachineParams mp = baseParams(1);
+    System sys(mp);
+    const unsigned sets =
+        static_cast<unsigned>(mp.l1.sizeBytes / (mp.l1.ways * lineBytes));
+    const Addr stride = static_cast<Addr>(sets) * lineBytes;
+    ProgramBuilder b;
+    for (unsigned i = 0; i <= mp.l1.ways; ++i) {
+        b.li(1, static_cast<std::int64_t>(addrA + i * stride));
+        b.li(2, 500 + static_cast<int>(i));
+        b.st(2, 1);
+    }
+    b.halt();
+    sys.setProgram(0, b.build());
+    ASSERT_TRUE(sys.run());
+    // The first line was evicted (LRU) and written back to memory.
+    EXPECT_EQ(sys.memory().readWord(addrA), 500u);
+    EXPECT_EQ(sys.l1(0).lineState(addrA), CohState::Invalid);
+    EXPECT_GT(sys.stats().get("mem", "writeBacks"), 0u);
+}
+
+TEST(Coherence, ScFailsWhenLineStolenBetweenLlAndSc)
+{
+    // cpu0 LLs, then waits for cpu1 to write the line, then SCs.
+    System sys(baseParams(2));
+    {
+        ProgramBuilder b;
+        b.li(1, addrA).ll(2, 1);
+        b.li(1, flagAddr).li(2, 1).st(2, 1); // signal cpu1
+        emitWaitFlag(b, 2, 3, 4);            // wait for cpu1's store
+        b.li(1, addrA).li(2, 55).sc(5, 2, 1);
+        b.halt();
+        sys.setProgram(0, b.build());
+    }
+    {
+        ProgramBuilder b;
+        emitWaitFlag(b, 1, 3, 4);
+        b.li(1, addrA).li(2, 66).st(2, 1); // steal the linked line
+        b.li(1, flagAddr).li(2, 2).st(2, 1);
+        b.halt();
+        sys.setProgram(1, b.build());
+    }
+    ASSERT_TRUE(sys.run());
+    EXPECT_EQ(sys.core(0).reg(5), 0u); // SC must fail
+    EXPECT_EQ(readCoherent(sys, addrA), 66u);
+}
+
+TEST(Coherence, ReadSharedAcrossManyCpus)
+{
+    const int cpus = 8;
+    System sys(baseParams(cpus));
+    for (int c = 0; c < cpus; ++c) {
+        ProgramBuilder b;
+        b.li(1, addrB).ld(2, 1).halt();
+        sys.setProgram(c, b.build());
+    }
+    ASSERT_TRUE(sys.run());
+    int valid = 0;
+    for (int c = 0; c < cpus; ++c) {
+        CohState st = sys.l1(c).lineState(addrB);
+        EXPECT_FALSE(isWritableState(st));
+        valid += isValidState(st) ? 1 : 0;
+    }
+    EXPECT_GT(valid, 0);
+}

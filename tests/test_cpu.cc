@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Unit tests for the mini-ISA, the assembler DSL and the core model,
+ * using a functional "perfect memory" port (fixed 1-cycle latency).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cpu/core.hh"
+#include "cpu/program.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+using namespace tlr;
+
+namespace
+{
+
+/** Simple magic memory with load-link tracking, 1-cycle latency. */
+class PerfectMem : public MemPort
+{
+  public:
+    PerfectMem(EventQueue &eq, Core &core) : eq_(eq), core_(core) {}
+
+    void
+    request(const CoreMemOp &op) override
+    {
+        MemResponse resp;
+        resp.gen = op.gen;
+        switch (op.type) {
+          case CoreMemOp::Type::Load:
+            resp.value = mem_[op.addr];
+            break;
+          case CoreMemOp::Type::LoadLinked:
+            resp.value = mem_[op.addr];
+            linkValid_ = true;
+            linkAddr_ = op.addr;
+            break;
+          case CoreMemOp::Type::Store:
+            mem_[op.addr] = op.data;
+            if (linkValid_ && linkAddr_ == op.addr)
+                linkValid_ = false;
+            break;
+          case CoreMemOp::Type::StoreCond:
+            if (linkValid_ && linkAddr_ == op.addr) {
+                mem_[op.addr] = op.data;
+                linkValid_ = false;
+                resp.value = 1;
+            } else {
+                resp.value = 0;
+            }
+            break;
+          case CoreMemOp::Type::AtomicSwap:
+            resp.value = mem_[op.addr];
+            mem_[op.addr] = op.data;
+            break;
+          case CoreMemOp::Type::AtomicCas:
+            resp.value = mem_[op.addr];
+            if (resp.value == op.expected)
+                mem_[op.addr] = op.data;
+            break;
+          case CoreMemOp::Type::AtomicAdd:
+            resp.value = mem_[op.addr];
+            mem_[op.addr] = resp.value + op.data;
+            break;
+        }
+        eq_.scheduleIn(1, [this, resp] { core_.memResponse(resp); });
+    }
+
+    std::map<Addr, std::uint64_t> mem_;
+    bool linkValid_ = false;
+    Addr linkAddr_ = 0;
+
+  private:
+    EventQueue &eq_;
+    Core &core_;
+};
+
+struct CoreFixture
+{
+    EventQueue eq;
+    StatSet stats;
+    Core core{eq, stats, 0, Rng(1)};
+    PerfectMem mem{eq, core};
+
+    void
+    runProgram(ProgramPtr p)
+    {
+        core.setPort(&mem);
+        core.setProgram(std::move(p));
+        core.start(0);
+        ASSERT_TRUE(eq.run(1'000'000));
+        ASSERT_TRUE(core.halted());
+    }
+};
+
+} // namespace
+
+TEST(Program, LabelsResolveAndDisassemble)
+{
+    ProgramBuilder b;
+    b.li(1, 5).label("top").addi(1, 1, -1).bne(1, 0, "top").halt();
+    auto p = b.build();
+    EXPECT_EQ(p->labelPc("top"), 1);
+    EXPECT_EQ(p->size(), 4);
+    EXPECT_NE(p->disassembleAll().find("top:"), std::string::npos);
+}
+
+TEST(Program, DanglingLabelIsFatal)
+{
+    ProgramBuilder b;
+    b.jmp("nowhere");
+    EXPECT_THROW(b.build(), std::runtime_error);
+}
+
+TEST(Program, DuplicateLabelIsFatal)
+{
+    ProgramBuilder b;
+    b.label("a");
+    EXPECT_THROW(b.label("a"), std::runtime_error);
+}
+
+TEST(CoreExec, AluAndBranches)
+{
+    CoreFixture f;
+    ProgramBuilder b;
+    // sum = 1 + 2 + ... + 10 computed with a loop
+    b.li(1, 10).li(2, 0);
+    b.label("loop");
+    b.add(2, 2, 1).addi(1, 1, -1).bne(1, 0, "loop");
+    b.li(3, 7).slli(4, 3, 2).srli(5, 4, 1);
+    b.and_(6, 3, 4).or_(7, 3, 4).xor_(8, 3, 4);
+    b.slt(9, 1, 3).seq(10, 1, 1).andi(11, 7, 5);
+    b.mul(12, 3, 3).sub(13, 12, 3);
+    b.halt();
+    f.runProgram(b.build());
+    EXPECT_EQ(f.core.reg(2), 55u);
+    EXPECT_EQ(f.core.reg(4), 28u);
+    EXPECT_EQ(f.core.reg(5), 14u);
+    EXPECT_EQ(f.core.reg(6), 7u & 28u);
+    EXPECT_EQ(f.core.reg(7), 7u | 28u);
+    EXPECT_EQ(f.core.reg(8), 7u ^ 28u);
+    EXPECT_EQ(f.core.reg(9), 1u); // 0 < 7
+    EXPECT_EQ(f.core.reg(10), 1u);
+    EXPECT_EQ(f.core.reg(12), 49u);
+    EXPECT_EQ(f.core.reg(13), 42u);
+}
+
+TEST(CoreExec, RegisterZeroIsHardwiredZero)
+{
+    CoreFixture f;
+    ProgramBuilder b;
+    b.li(0, 99).mov(1, 0).halt();
+    f.runProgram(b.build());
+    EXPECT_EQ(f.core.reg(0), 0u);
+    EXPECT_EQ(f.core.reg(1), 0u);
+}
+
+TEST(CoreExec, LoadsAndStores)
+{
+    CoreFixture f;
+    f.mem.mem_[0x1000] = 77;
+    ProgramBuilder b;
+    b.li(1, 0x1000);
+    b.ld(2, 1);           // r2 = 77
+    b.addi(3, 2, 1);
+    b.st(3, 1, 8);        // mem[0x1008] = 78
+    b.ld(4, 1, 8);
+    b.halt();
+    f.runProgram(b.build());
+    EXPECT_EQ(f.core.reg(2), 77u);
+    EXPECT_EQ(f.core.reg(4), 78u);
+    EXPECT_EQ(f.mem.mem_[0x1008], 78u);
+}
+
+TEST(CoreExec, LlScSucceedsWhenUndisturbed)
+{
+    CoreFixture f;
+    f.mem.mem_[0x2000] = 5;
+    ProgramBuilder b;
+    b.li(1, 0x2000).ll(2, 1).addi(3, 2, 1).sc(4, 3, 1).halt();
+    f.runProgram(b.build());
+    EXPECT_EQ(f.core.reg(4), 1u);
+    EXPECT_EQ(f.mem.mem_[0x2000], 6u);
+}
+
+TEST(CoreExec, ScFailsWithoutLink)
+{
+    CoreFixture f;
+    ProgramBuilder b;
+    b.li(1, 0x2000).li(3, 9).sc(4, 3, 1).halt();
+    f.runProgram(b.build());
+    EXPECT_EQ(f.core.reg(4), 0u);
+    EXPECT_EQ(f.mem.mem_[0x2000], 0u);
+}
+
+TEST(CoreExec, AtomicSwapReturnsOldValue)
+{
+    CoreFixture f;
+    f.mem.mem_[0x3000] = 11;
+    ProgramBuilder b;
+    b.li(1, 0x3000).li(2, 22).amoswap(3, 2, 1).halt();
+    f.runProgram(b.build());
+    EXPECT_EQ(f.core.reg(3), 11u);
+    EXPECT_EQ(f.mem.mem_[0x3000], 22u);
+}
+
+TEST(CoreExec, AtomicCasSucceedsOnMatch)
+{
+    CoreFixture f;
+    f.mem.mem_[0x3000] = 7;
+    ProgramBuilder b;
+    b.li(1, 0x3000).li(3, 7).li(2, 99).amocas(3, 2, 1).halt();
+    f.runProgram(b.build());
+    EXPECT_EQ(f.core.reg(3), 7u); // old value returned
+    EXPECT_EQ(f.mem.mem_[0x3000], 99u);
+}
+
+TEST(CoreExec, AtomicCasFailsOnMismatch)
+{
+    CoreFixture f;
+    f.mem.mem_[0x3000] = 8;
+    ProgramBuilder b;
+    b.li(1, 0x3000).li(3, 7).li(2, 99).amocas(3, 2, 1).halt();
+    f.runProgram(b.build());
+    EXPECT_EQ(f.core.reg(3), 8u); // old value differs from expected
+    EXPECT_EQ(f.mem.mem_[0x3000], 8u);
+}
+
+TEST(CoreExec, AtomicAddReturnsOldAndAccumulates)
+{
+    CoreFixture f;
+    f.mem.mem_[0x3000] = 5;
+    ProgramBuilder b;
+    b.li(1, 0x3000).li(2, 10).amoadd(3, 2, 1).amoadd(4, 2, 1).halt();
+    f.runProgram(b.build());
+    EXPECT_EQ(f.core.reg(3), 5u);
+    EXPECT_EQ(f.core.reg(4), 15u);
+    EXPECT_EQ(f.mem.mem_[0x3000], 25u);
+}
+
+TEST(CoreExec, DelayAdvancesTime)
+{
+    CoreFixture f;
+    ProgramBuilder b;
+    b.li(1, 100).delay(1).halt();
+    f.runProgram(b.build());
+    EXPECT_GE(f.eq.now(), 100u);
+    EXPECT_EQ(f.stats.get("core0", "delayCycles"), 100u);
+}
+
+TEST(CoreExec, RndBoundedAndDeterministic)
+{
+    std::uint64_t first = 0;
+    for (int trial = 0; trial < 2; ++trial) {
+        CoreFixture f;
+        ProgramBuilder b;
+        b.li(1, 16).rnd(2, 1).halt();
+        f.runProgram(b.build());
+        EXPECT_LT(f.core.reg(2), 16u);
+        if (trial == 0)
+            first = f.core.reg(2);
+        else
+            EXPECT_EQ(f.core.reg(2), first);
+    }
+}
+
+TEST(CoreExec, UnalignedAccessPanics)
+{
+    CoreFixture f;
+    ProgramBuilder b;
+    b.li(1, 0x1001).ld(2, 1).halt();
+    f.core.setPort(&f.mem);
+    f.core.setProgram(b.build());
+    f.core.start(0);
+    EXPECT_THROW(f.eq.run(), std::logic_error);
+}
+
+TEST(CoreExec, CheckpointRestoreReexecutes)
+{
+    CoreFixture f;
+    ProgramBuilder b;
+    b.li(1, 1).li(2, 42).halt();
+    f.core.setPort(&f.mem);
+    f.core.setProgram(b.build());
+    f.core.start(0);
+    // Run to completion, then restore a checkpoint from the start.
+    ASSERT_TRUE(f.eq.run());
+    Checkpoint cp;
+    cp.pc = 0;
+    f.core.restoreCheckpoint(cp);
+    EXPECT_FALSE(f.core.halted());
+    ASSERT_TRUE(f.eq.run());
+    EXPECT_TRUE(f.core.halted());
+    EXPECT_EQ(f.core.reg(2), 42u);
+}
+
+TEST(CoreExec, StallAttributionUsesClassifier)
+{
+    CoreFixture f;
+    f.core.setLockClassifier([](Addr a) { return a == 0x4000; });
+    ProgramBuilder b;
+    b.li(1, 0x4000).li(2, 0x5000);
+    b.ld(3, 1).ld(4, 2).halt();
+    f.runProgram(b.build());
+    EXPECT_GT(f.stats.get("core0", "lockCycles"), 0u);
+    EXPECT_GT(f.stats.get("core0", "dataStallCycles"), 0u);
+}

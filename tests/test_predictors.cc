@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for the timestamp ordering rules, the silent store-pair
+ * predictor, the read-modify-write predictor, the layout allocator
+ * and the generated lock code.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/predictors.hh"
+#include "core/timestamp.hh"
+#include "cpu/program.hh"
+#include "sync/layout.hh"
+#include "sync/lock_progs.hh"
+
+using namespace tlr;
+
+TEST(Timestamp, EarlierClockWins)
+{
+    Timestamp a = Timestamp::make(3, 7);
+    Timestamp b = Timestamp::make(5, 1);
+    EXPECT_TRUE(a.earlierThan(b));
+    EXPECT_FALSE(b.earlierThan(a));
+}
+
+TEST(Timestamp, TiesBreakOnCpuId)
+{
+    Timestamp a = Timestamp::make(4, 1);
+    Timestamp b = Timestamp::make(4, 2);
+    EXPECT_TRUE(a.earlierThan(b));
+    EXPECT_FALSE(b.earlierThan(a));
+}
+
+TEST(Timestamp, UntimestampedHasLowestPriority)
+{
+    Timestamp none; // invalid
+    Timestamp any = Timestamp::make(1'000'000, 15);
+    EXPECT_TRUE(any.earlierThan(none));
+    EXPECT_FALSE(none.earlierThan(any));
+    EXPECT_FALSE(none.earlierThan(Timestamp{}));
+}
+
+TEST(Timestamp, TotalOrderAmongValid)
+{
+    std::vector<Timestamp> all;
+    for (std::uint64_t c = 0; c < 4; ++c)
+        for (CpuId p = 0; p < 4; ++p)
+            all.push_back(Timestamp::make(c, p));
+    for (size_t i = 0; i < all.size(); ++i) {
+        EXPECT_FALSE(all[i].earlierThan(all[i]));
+        for (size_t j = i + 1; j < all.size(); ++j) {
+            EXPECT_NE(all[i].earlierThan(all[j]),
+                      all[j].earlierThan(all[i]));
+        }
+    }
+}
+
+TEST(SilentPairPredictor, ElidesByDefault)
+{
+    SilentPairPredictor p(4);
+    EXPECT_TRUE(p.shouldElide(100));
+}
+
+TEST(SilentPairPredictor, PenaltyBlocksThenReprobes)
+{
+    SilentPairPredictor p(4);
+    p.penalize(100);
+    // Confidence exhausted: blocked, but every 16th query re-probes.
+    int allowed = 0;
+    for (int i = 0; i < 32; ++i)
+        allowed += p.shouldElide(100) ? 1 : 0;
+    EXPECT_EQ(allowed, 2);
+}
+
+TEST(SilentPairPredictor, RewardRestoresConfidence)
+{
+    SilentPairPredictor p(4);
+    p.penalize(100);
+    p.reward(100);
+    EXPECT_TRUE(p.shouldElide(100));
+}
+
+TEST(SilentPairPredictor, CapacityEvictsLru)
+{
+    SilentPairPredictor p(2);
+    p.penalize(1); // blocked
+    p.penalize(2); // blocked
+    EXPECT_FALSE(p.shouldElide(1));
+    p.shouldElide(3); // evicts LRU entry (pc=2 was... pc=1 refreshed)
+    // pc=2 was least recently used and is forgotten: elide by default.
+    EXPECT_TRUE(p.shouldElide(2));
+}
+
+TEST(RmwPredictor, TrainsOnLoadStorePairs)
+{
+    RmwPredictor p(8, 4);
+    EXPECT_FALSE(p.predictExclusive(10));
+    p.observeLoad(10, 0x1000);
+    p.observeStore(0x1000);
+    EXPECT_TRUE(p.predictExclusive(10));
+}
+
+TEST(RmwPredictor, WindowLimitsMatching)
+{
+    RmwPredictor p(8, 2);
+    p.observeLoad(10, 0x1000);
+    p.observeLoad(11, 0x2000);
+    p.observeLoad(12, 0x3000); // pushes 0x1000 out of the window
+    p.observeStore(0x1000);
+    EXPECT_FALSE(p.predictExclusive(10));
+    p.observeStore(0x3000);
+    EXPECT_TRUE(p.predictExclusive(12));
+}
+
+TEST(RmwPredictor, DistinctAddressesDoNotTrain)
+{
+    RmwPredictor p(8, 4);
+    p.observeLoad(10, 0x1000);
+    p.observeStore(0x1008); // different word
+    EXPECT_FALSE(p.predictExclusive(10));
+}
+
+TEST(RmwPredictor, CapacityBoundsTable)
+{
+    RmwPredictor p(2, 8);
+    for (int i = 0; i < 4; ++i) {
+        p.observeLoad(100 + i, 0x1000u + 64u * static_cast<unsigned>(i));
+        p.observeStore(0x1000u + 64u * static_cast<unsigned>(i));
+    }
+    EXPECT_LE(p.tableSize(), 2u);
+}
+
+TEST(Layout, AlignmentAndPadding)
+{
+    Layout lay;
+    Addr a = lay.alloc(8);
+    Addr b = lay.allocLine();
+    Addr c = lay.allocLine();
+    EXPECT_EQ(a % 8, 0u);
+    EXPECT_EQ(b % lineBytes, 0u);
+    EXPECT_EQ(c - b, static_cast<Addr>(lineBytes));
+    Addr d = lay.allocLines(3);
+    Addr e = lay.allocLine();
+    EXPECT_EQ(e - d, static_cast<Addr>(3 * lineBytes));
+}
+
+TEST(Layout, LockClassifierMatchesWholeLine)
+{
+    Layout lay;
+    Addr lock = lay.allocLock();
+    Addr data = lay.allocLine();
+    auto cls = lay.classifier();
+    EXPECT_TRUE(cls(lock));
+    EXPECT_TRUE(cls(lock + 8)); // same line
+    EXPECT_FALSE(cls(data));
+    lay.registerSyncAddr(data);
+    // Classifier snapshots are independent of later registration.
+    EXPECT_FALSE(cls(data));
+    EXPECT_TRUE(lay.classifier()(data));
+}
+
+TEST(LockProgs, TtsSequenceAssembles)
+{
+    ProgramBuilder b;
+    b.li(1, 0x1000);
+    emitTtsAcquire(b, 1, 2, 3);
+    emitTtsRelease(b, 1);
+    b.halt();
+    auto p = b.build();
+    // The acquire must contain LL, SC and the release a plain store.
+    bool hasLl = false, hasSc = false, hasSt = false;
+    for (int i = 0; i < p->size(); ++i) {
+        hasLl |= p->at(i).op == Opcode::Ll;
+        hasSc |= p->at(i).op == Opcode::Sc;
+        hasSt |= p->at(i).op == Opcode::St;
+    }
+    EXPECT_TRUE(hasLl && hasSc && hasSt);
+}
+
+TEST(LockProgs, McsSequencesAssemble)
+{
+    ProgramBuilder b;
+    b.li(1, 0x1000).li(2, 0x2000);
+    emitMcsAcquire(b, 1, 2, 3, 4, 5);
+    emitMcsRelease(b, 1, 2, 3, 4);
+    b.halt();
+    EXPECT_GT(b.build()->size(), 10);
+}

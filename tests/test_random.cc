@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Randomized stress tests ("fuzzing" the protocol): generate random
+ * lock-based workloads — random processor counts, lock pools,
+ * critical-section shapes, nesting and think times — and require
+ * every scheme to terminate with exactly the expected shared-counter
+ * totals. Any atomicity, deadlock or livelock bug in the coherence
+ * protocol, SLE or TLR machinery shows up as a lost update, a
+ * watchdog timeout, or an internal panic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/scheme.hh"
+#include "harness/system.hh"
+#include "sim/rng.hh"
+#include "sync/layout.hh"
+#include "sync/lock_progs.hh"
+#include "workloads/workload.hh"
+
+using namespace tlr;
+
+#include "random_workload.hh"
+
+using tlrtest::makeRandomWorkload;
+
+namespace
+{
+
+class RandomStress
+    : public ::testing::TestWithParam<std::tuple<int, Scheme>>
+{
+};
+
+} // namespace
+
+TEST_P(RandomStress, TerminatesWithExactCounts)
+{
+    auto [seed, scheme] = GetParam();
+    int cpus = 0;
+    Workload wl = makeRandomWorkload(static_cast<std::uint64_t>(seed),
+                                     cpus, schemeLockKind(scheme));
+    MachineParams mp;
+    mp.numCpus = cpus;
+    mp.spec = schemeSpecConfig(scheme);
+    mp.seed = static_cast<std::uint64_t>(seed) + 5000;
+    mp.maxTicks = 300'000'000ull;
+    System sys(mp);
+    installWorkload(sys, wl);
+    ASSERT_TRUE(sys.run()) << "watchdog timeout, seed=" << seed;
+    EXPECT_TRUE(wl.validate(sys)) << "lost update, seed=" << seed;
+}
+
+namespace
+{
+
+std::string
+randName(const ::testing::TestParamInfo<std::tuple<int, Scheme>> &info)
+{
+    const char *s = "";
+    switch (std::get<1>(info.param)) {
+      case Scheme::Base: s = "Base"; break;
+      case Scheme::BaseSle: s = "Sle"; break;
+      case Scheme::BaseSleTlr: s = "Tlr"; break;
+      case Scheme::TlrStrictTs: s = "Strict"; break;
+      case Scheme::Mcs: s = "Mcs"; break;
+    }
+    return "seed" + std::to_string(std::get<0>(info.param)) + s;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomStress,
+    ::testing::Combine(::testing::Range(0, 24),
+                       ::testing::Values(Scheme::Base, Scheme::BaseSle,
+                                         Scheme::BaseSleTlr,
+                                         Scheme::TlrStrictTs,
+                                         Scheme::Mcs)),
+    randName);

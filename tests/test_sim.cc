@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue ordering,
+ * determinism, RNG reproducibility and the stats registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+using namespace tlr;
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(2); });
+    eq.schedule(5, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(3); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 20u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenInsertion)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(7, [&] { order.push_back(3); }, EventPrio::CoreTick);
+    eq.schedule(7, [&] { order.push_back(1); }, EventPrio::Snoop);
+    eq.schedule(7, [&] { order.push_back(4); }, EventPrio::CoreTick);
+    eq.schedule(7, [&] { order.push_back(2); }, EventPrio::DataResponse);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5)
+            eq.scheduleIn(3, chain);
+    };
+    eq.schedule(0, chain);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(eq.now(), 12u);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [&] {
+        EXPECT_THROW(eq.schedule(5, [] {}), std::logic_error);
+    });
+    eq.run();
+}
+
+TEST(EventQueue, MaxTickStopsEarly)
+{
+    EventQueue eq;
+    bool ran = false;
+    eq.schedule(100, [&] { ran = true; });
+    EXPECT_FALSE(eq.run(50));
+    EXPECT_FALSE(ran);
+    EXPECT_TRUE(eq.run(200));
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, StepAndPending)
+{
+    EventQueue eq;
+    eq.schedule(1, [] {});
+    eq.schedule(2, [] {});
+    EXPECT_EQ(eq.pending(), 2u);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(eq.executed(), 2u);
+}
+
+TEST(Rng, DeterministicAndForkIndependent)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+
+    Rng root(7);
+    Rng c1 = root.fork(1);
+    Rng c2 = root.fork(2);
+    bool differs = false;
+    for (int i = 0; i < 10; ++i)
+        differs |= c1.next() != c2.next();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+    EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Stats, CounterAndSum)
+{
+    StatSet s;
+    s.counter("core0", "x") += 3;
+    s.counter("core1", "x") += 4;
+    s.counter("core1", "y") += 9;
+    EXPECT_EQ(s.get("core0", "x"), 3u);
+    EXPECT_EQ(s.get("core9", "x"), 0u);
+    EXPECT_EQ(s.sum("core", "x"), 7u);
+    EXPECT_EQ(s.sum("core", "y"), 9u);
+    EXPECT_NE(s.dump("core1").find("core1.y = 9"), std::string::npos);
+}

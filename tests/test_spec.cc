@@ -1,0 +1,524 @@
+/**
+ * @file
+ * SLE/TLR mechanism tests, including the paper's own scenarios:
+ *
+ *  - Figure 2: two processors writing A and B in opposite orders
+ *    inside the same critical section livelock under restart-only
+ *    speculation (SLE with an unbounded retry budget), because each
+ *    restarts the other forever.
+ *  - Figure 4: TLR resolves exactly that scenario with timestamps:
+ *    the earlier-timestamp processor retains ownership and both
+ *    complete.
+ *  - Figure 6: three processors forming an ownership chain require
+ *    marker/probe propagation to avoid deadlock.
+ *
+ * Plus: elision behavior, resource-constraint fallbacks (write
+ * buffer, victim cache), nesting, unbufferable operations, timestamp
+ * management and conflicts with un-timestamped requests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/scheme.hh"
+#include "harness/system.hh"
+#include "sync/layout.hh"
+#include "sync/lock_progs.hh"
+#include "workloads/micro.hh"
+#include "workloads/workload.hh"
+
+using namespace tlr;
+
+namespace
+{
+
+constexpr Reg rLock = 1;
+constexpr Reg rA = 2;
+constexpr Reg rB = 3;
+constexpr Reg rT0 = 4;
+constexpr Reg rT1 = 5;
+constexpr Reg rV = 6;
+constexpr Reg rIter = 7;
+
+MachineParams
+params(Scheme s, int cpus)
+{
+    MachineParams mp;
+    mp.numCpus = cpus;
+    mp.spec = schemeSpecConfig(s);
+    mp.maxTicks = 20'000'000;
+    return mp;
+}
+
+/**
+ * The Figure 2 / Figure 4 workload: every cpu runs `iters` critical
+ * sections; inside each CS it increments locations A and B, with odd
+ * cpus writing in reverse order.
+ */
+struct ReverseWriters
+{
+    Addr lock, a, b;
+    std::vector<ProgramPtr> progs;
+    std::function<bool(Addr)> classifier;
+
+    ReverseWriters(int cpus, int iters)
+    {
+        Layout lay;
+        lock = lay.allocLock();
+        a = lay.allocLine();
+        b = lay.allocLine();
+        classifier = lay.classifier();
+        for (int c = 0; c < cpus; ++c) {
+            ProgramBuilder pb;
+            pb.li(rLock, static_cast<std::int64_t>(lock));
+            pb.li(rA, static_cast<std::int64_t>(c % 2 ? b : a));
+            pb.li(rB, static_cast<std::int64_t>(c % 2 ? a : b));
+            pb.li(rIter, iters);
+            pb.label("loop");
+            emitTtsAcquire(pb, rLock, rT0, rT1);
+            pb.ld(rV, rA).addi(rV, rV, 1).st(rV, rA);
+            pb.ld(rV, rB).addi(rV, rV, 1).st(rV, rB);
+            emitTtsRelease(pb, rLock);
+            pb.addi(rIter, rIter, -1);
+            pb.bne(rIter, 0, "loop");
+            pb.halt();
+            progs.push_back(pb.build());
+        }
+    }
+
+    void
+    install(System &sys)
+    {
+        for (size_t c = 0; c < progs.size(); ++c)
+            sys.setProgram(static_cast<int>(c), progs[c]);
+        sys.setLockClassifier(classifier);
+    }
+};
+
+} // namespace
+
+TEST(PaperFigure2, RestartOnlySpeculationLivelocks)
+{
+    // SLE whose retry budget never runs out == pure restart-based
+    // speculation with no conflict resolution: the paper's Figure 2
+    // livelock. Give it a bounded horizon and require NO completion.
+    MachineParams mp = params(Scheme::BaseSle, 2);
+    mp.spec.sleMaxRetries = 1'000'000'000;  // never give up...
+    mp.spec.specMaxCycles = 1'000'000'000;  // ...and no quantum bound
+    mp.maxTicks = 3'000'000;
+    // Keep both cpus perfectly symmetric: no random post-release gap.
+    System sys(mp);
+    ReverseWriters w(2, 50);
+    w.install(sys);
+    EXPECT_FALSE(sys.run()); // watchdog expires: livelock
+    EXPECT_GT(sys.stats().sum("spec", "restarts"), 100u);
+    // Essentially no forward progress (a couple of commits may sneak
+    // through when bus arbitration briefly breaks the symmetry).
+    EXPECT_LT(sys.stats().sum("spec", "commits"), 10u);
+}
+
+TEST(PaperFigure4, TlrResolvesReverseOrderConflicts)
+{
+    System sys(params(Scheme::BaseSleTlr, 2));
+    ReverseWriters w(2, 50);
+    w.install(sys);
+    ASSERT_TRUE(sys.run());
+    EXPECT_EQ(readCoherent(sys, w.a), 100u);
+    EXPECT_EQ(readCoherent(sys, w.b), 100u);
+    // Lock-free: every critical section committed via elision.
+    EXPECT_EQ(sys.stats().sum("spec", "commits"), 100u);
+    // Conflicts occurred and were resolved by deferral/restart.
+    EXPECT_GT(sys.stats().sum("l1_", "defers") +
+                  sys.stats().sum("spec", "restarts"),
+              0u);
+}
+
+TEST(PaperFigure4, SleAloneFallsBackToTheLock)
+{
+    // Default SLE (bounded retries) must complete by acquiring the
+    // lock, i.e. with fallbacks, unlike TLR which stays lock-free.
+    System sys(params(Scheme::BaseSle, 2));
+    ReverseWriters w(2, 50);
+    w.install(sys);
+    ASSERT_TRUE(sys.run());
+    EXPECT_EQ(readCoherent(sys, w.a), 100u);
+    EXPECT_EQ(readCoherent(sys, w.b), 100u);
+    EXPECT_GT(sys.stats().sum("spec", "fallbacks"), 0u);
+}
+
+TEST(PaperFigure6, ChainsResolveWithMarkersAndProbes)
+{
+    // Many cpus, several blocks written in rotated orders: ownership
+    // chains with conflicting priorities form; marker/probe machinery
+    // must keep the system live and serializable.
+    const int cpus = 6;
+    const int iters = 40;
+    Layout lay;
+    Addr lock = lay.allocLock();
+    std::array<Addr, 3> blocks{lay.allocLine(), lay.allocLine(),
+                               lay.allocLine()};
+    System sys(params(Scheme::BaseSleTlr, cpus));
+    for (int c = 0; c < cpus; ++c) {
+        ProgramBuilder pb;
+        pb.li(rLock, static_cast<std::int64_t>(lock));
+        pb.li(rIter, iters);
+        pb.label("loop");
+        emitTtsAcquire(pb, rLock, rT0, rT1);
+        for (int k = 0; k < 3; ++k) {
+            Addr t = blocks[static_cast<size_t>((c + k) % 3)];
+            pb.li(rA, static_cast<std::int64_t>(t));
+            pb.ld(rV, rA).addi(rV, rV, 1).st(rV, rA);
+        }
+        emitTtsRelease(pb, rLock);
+        pb.addi(rIter, rIter, -1);
+        pb.bne(rIter, 0, "loop");
+        pb.halt();
+        sys.setProgram(c, pb.build());
+    }
+    sys.setLockClassifier(lay.classifier());
+    ASSERT_TRUE(sys.run());
+    for (Addr t : blocks)
+        EXPECT_EQ(readCoherent(sys, t),
+                  static_cast<std::uint64_t>(cpus * iters));
+    // The scenario must actually exercise the chain machinery.
+    EXPECT_GT(sys.stats().get("net", "markerMsgs"), 0u);
+}
+
+TEST(SleMechanism, UncontendedCriticalSectionsCommitElided)
+{
+    MicroParams p;
+    p.numCpus = 4;
+    p.totalOps = 256;
+    Workload wl = makeMultipleCounter(p);
+    System sys(params(Scheme::BaseSle, 4));
+    installWorkload(sys, wl);
+    ASSERT_TRUE(sys.run());
+    ASSERT_TRUE(wl.validate(sys));
+    EXPECT_EQ(sys.stats().sum("spec", "commits"), 256u);
+    EXPECT_EQ(sys.stats().sum("spec", "fallbacks"), 0u);
+}
+
+TEST(SleMechanism, WriteBufferOverflowFallsBackToLock)
+{
+    // A critical section writing more unique lines than the write
+    // buffer holds cannot be speculated (paper Section 3.3).
+    MachineParams mp = params(Scheme::BaseSleTlr, 2);
+    mp.spec.writeBufferLines = 4;
+    Layout lay;
+    Addr lock = lay.allocLock();
+    Addr data = lay.allocLines(8);
+    System sys(mp);
+    for (int c = 0; c < 2; ++c) {
+        ProgramBuilder pb;
+        pb.li(rLock, static_cast<std::int64_t>(lock));
+        pb.li(rIter, 10);
+        pb.label("loop");
+        emitTtsAcquire(pb, rLock, rT0, rT1);
+        for (int k = 0; k < 6; ++k) { // 6 lines > 4-entry buffer
+            pb.li(rA, static_cast<std::int64_t>(data + 64u * k));
+            pb.ld(rV, rA).addi(rV, rV, 1).st(rV, rA);
+        }
+        emitTtsRelease(pb, rLock);
+        pb.addi(rIter, rIter, -1);
+        pb.bne(rIter, 0, "loop");
+        pb.halt();
+        sys.setProgram(c, pb.build());
+    }
+    sys.setLockClassifier(lay.classifier());
+    ASSERT_TRUE(sys.run());
+    for (int k = 0; k < 6; ++k)
+        EXPECT_EQ(readCoherent(sys, data + 64u * k), 20u);
+    EXPECT_GT(sys.stats().sum("spec", "fallbacks"), 0u);
+    EXPECT_GT(sys.stats().sum("spec", "abort.write-buffer-full"), 0u);
+}
+
+TEST(SleMechanism, VictimCacheOverflowFallsBackToLock)
+{
+    // Transactional lines evicted by set conflicts spill into the
+    // victim cache; exceeding ways + victim entries forces fallback
+    // (paper Sections 3.3 and 4).
+    MachineParams mp = params(Scheme::BaseSleTlr, 1);
+    mp.l1.sizeBytes = 16 * 1024; // 64 sets of 4 ways
+    mp.l1.victimEntries = 2;
+    System sys(mp);
+    const unsigned sets =
+        static_cast<unsigned>(mp.l1.sizeBytes / (mp.l1.ways * lineBytes));
+    const Addr stride = static_cast<Addr>(sets) * lineBytes;
+    Layout lay;
+    Addr lock = lay.allocLock();
+    Addr data = 0x100000;
+    ProgramBuilder pb;
+    pb.li(rLock, static_cast<std::int64_t>(lock));
+    emitTtsAcquire(pb, rLock, rT0, rT1);
+    for (unsigned k = 0; k < 8; ++k) { // 8 same-set lines > 4+2
+        pb.li(rA, static_cast<std::int64_t>(data + stride * k));
+        pb.ld(rV, rA).addi(rV, rV, 1).st(rV, rA);
+    }
+    emitTtsRelease(pb, rLock);
+    pb.halt();
+    sys.setProgram(0, pb.build());
+    sys.setLockClassifier(lay.classifier());
+    ASSERT_TRUE(sys.run());
+    for (unsigned k = 0; k < 8; ++k)
+        EXPECT_EQ(readCoherent(sys, data + stride * k), 1u);
+    EXPECT_GT(sys.stats().sum("spec", "fallbacks"), 0u);
+}
+
+TEST(SleMechanism, NestedLocksElideUpToDepth)
+{
+    // Two nested locks: both elided, one commit for the outer region.
+    Layout lay;
+    Addr outer = lay.allocLock();
+    Addr inner = lay.allocLock();
+    Addr data = lay.allocLine();
+    System sys(params(Scheme::BaseSleTlr, 2));
+    for (int c = 0; c < 2; ++c) {
+        ProgramBuilder pb;
+        pb.li(rIter, 20);
+        pb.label("loop");
+        pb.li(rLock, static_cast<std::int64_t>(outer));
+        emitTtsAcquire(pb, rLock, rT0, rT1);
+        pb.li(rB, static_cast<std::int64_t>(inner));
+        emitTtsAcquire(pb, rB, rT0, rT1);
+        pb.li(rA, static_cast<std::int64_t>(data));
+        pb.ld(rV, rA).addi(rV, rV, 1).st(rV, rA);
+        emitTtsRelease(pb, rB);
+        emitTtsRelease(pb, rLock);
+        pb.addi(rIter, rIter, -1);
+        pb.bne(rIter, 0, "loop");
+        pb.halt();
+        sys.setProgram(c, pb.build());
+    }
+    sys.setLockClassifier(lay.classifier());
+    ASSERT_TRUE(sys.run());
+    EXPECT_EQ(readCoherent(sys, data), 40u);
+    // Elisions counts both locks; commits count outer regions only.
+    EXPECT_GE(sys.stats().sum("spec", "elisions"),
+              2 * sys.stats().sum("spec", "commits"));
+    EXPECT_GT(sys.stats().sum("spec", "commits"), 0u);
+}
+
+TEST(SleMechanism, NestingBeyondDepthTreatsInnerLockAsData)
+{
+    // Depth 1: the inner lock cannot be elided and is written as
+    // transactional data (paper Section 4); execution stays correct.
+    MachineParams mp = params(Scheme::BaseSleTlr, 2);
+    mp.spec.maxElisionDepth = 1;
+    Layout lay;
+    Addr outer = lay.allocLock();
+    Addr inner = lay.allocLock();
+    Addr data = lay.allocLine();
+    System sys(mp);
+    for (int c = 0; c < 2; ++c) {
+        ProgramBuilder pb;
+        pb.li(rIter, 10);
+        pb.label("loop");
+        pb.li(rLock, static_cast<std::int64_t>(outer));
+        emitTtsAcquire(pb, rLock, rT0, rT1);
+        pb.li(rB, static_cast<std::int64_t>(inner));
+        emitTtsAcquire(pb, rB, rT0, rT1);
+        pb.li(rA, static_cast<std::int64_t>(data));
+        pb.ld(rV, rA).addi(rV, rV, 1).st(rV, rA);
+        emitTtsRelease(pb, rB);
+        emitTtsRelease(pb, rLock);
+        pb.addi(rIter, rIter, -1);
+        pb.bne(rIter, 0, "loop");
+        pb.halt();
+        sys.setProgram(c, pb.build());
+    }
+    sys.setLockClassifier(lay.classifier());
+    ASSERT_TRUE(sys.run());
+    EXPECT_EQ(readCoherent(sys, data), 20u);
+}
+
+TEST(SleMechanism, UnbufferableOperationForcesLockAcquisition)
+{
+    Layout lay;
+    Addr lock = lay.allocLock();
+    Addr data = lay.allocLine();
+    System sys(params(Scheme::BaseSleTlr, 2));
+    for (int c = 0; c < 2; ++c) {
+        ProgramBuilder pb;
+        pb.li(rLock, static_cast<std::int64_t>(lock));
+        pb.li(rA, static_cast<std::int64_t>(data));
+        pb.li(rIter, 10);
+        pb.label("loop");
+        emitTtsAcquire(pb, rLock, rT0, rT1);
+        pb.ld(rV, rA).addi(rV, rV, 1).st(rV, rA);
+        pb.io(); // cannot be undone: speculation must stop
+        emitTtsRelease(pb, rLock);
+        pb.addi(rIter, rIter, -1);
+        pb.bne(rIter, 0, "loop");
+        pb.halt();
+        sys.setProgram(c, pb.build());
+    }
+    sys.setLockClassifier(lay.classifier());
+    ASSERT_TRUE(sys.run());
+    EXPECT_EQ(readCoherent(sys, data), 20u);
+    EXPECT_EQ(sys.stats().sum("spec", "commits"), 0u);
+    EXPECT_GT(sys.stats().sum("spec", "abort.unbufferable"), 0u);
+}
+
+TEST(SleMechanism, QuantumBoundForcesFallbackOnLongRegions)
+{
+    // A critical section whose compute exceeds the scheduling-quantum
+    // bound cannot stay speculative (paper Section 3.3); it must fall
+    // back to the lock and still execute correctly.
+    MachineParams mp = params(Scheme::BaseSleTlr, 2);
+    mp.spec.specMaxCycles = 200;
+    Layout lay;
+    Addr lock = lay.allocLock();
+    Addr data = lay.allocLine();
+    System sys(mp);
+    for (int c = 0; c < 2; ++c) {
+        ProgramBuilder pb;
+        pb.li(rLock, static_cast<std::int64_t>(lock));
+        pb.li(rA, static_cast<std::int64_t>(data));
+        pb.li(rIter, 8);
+        pb.label("loop");
+        emitTtsAcquire(pb, rLock, rT0, rT1);
+        pb.ld(rV, rA).addi(rV, rV, 1).st(rV, rA);
+        pb.li(rT0, 1000); // far beyond the 200-cycle quantum
+        pb.delay(rT0);
+        emitTtsRelease(pb, rLock);
+        pb.addi(rIter, rIter, -1);
+        pb.bne(rIter, 0, "loop");
+        pb.halt();
+        sys.setProgram(c, pb.build());
+    }
+    sys.setLockClassifier(lay.classifier());
+    ASSERT_TRUE(sys.run());
+    EXPECT_EQ(readCoherent(sys, data), 16u);
+    EXPECT_GT(sys.stats().sum("spec", "abort.quantum-expired"), 0u);
+    EXPECT_GT(sys.stats().sum("spec", "fallbacks"), 0u);
+}
+
+TEST(TlrMechanism, LogicalClockAdvancesOnCommit)
+{
+    MicroParams p;
+    p.numCpus = 2;
+    p.totalOps = 64;
+    Workload wl = makeSingleCounter(p);
+    System sys(params(Scheme::BaseSleTlr, 2));
+    installWorkload(sys, wl);
+    ASSERT_TRUE(sys.run());
+    ASSERT_TRUE(wl.validate(sys));
+    // Each cpu committed 32 regions; clocks advance monotonically by
+    // at least 1 per commit.
+    EXPECT_GE(sys.engine(0).logicalClock(), 32u);
+    EXPECT_GE(sys.engine(1).logicalClock(), 32u);
+    EXPECT_FALSE(sys.engine(0).timestampHeld());
+}
+
+TEST(TlrMechanism, UntimestampedConflictsDeferPolicy)
+{
+    // cpu0 runs critical sections under TLR; cpu1 hammers the same
+    // data with plain stores (a data race, paper Section 2.2). With
+    // the defer policy both complete.
+    Layout lay;
+    Addr lock = lay.allocLock();
+    Addr data = lay.allocLine();
+    System sys(params(Scheme::BaseSleTlr, 2));
+    {
+        ProgramBuilder pb;
+        pb.li(rLock, static_cast<std::int64_t>(lock));
+        pb.li(rA, static_cast<std::int64_t>(data));
+        pb.li(rIter, 50);
+        pb.label("loop");
+        emitTtsAcquire(pb, rLock, rT0, rT1);
+        pb.ld(rV, rA, 8).addi(rV, rV, 1).st(rV, rA, 8);
+        emitTtsRelease(pb, rLock);
+        pb.addi(rIter, rIter, -1);
+        pb.bne(rIter, 0, "loop");
+        pb.halt();
+        sys.setProgram(0, pb.build());
+    }
+    {
+        ProgramBuilder pb; // racy writer, no lock
+        pb.li(rA, static_cast<std::int64_t>(data));
+        pb.li(rIter, 50);
+        pb.label("loop");
+        pb.ld(rV, rA).addi(rV, rV, 1).st(rV, rA);
+        pb.addi(rIter, rIter, -1);
+        pb.bne(rIter, 0, "loop");
+        pb.halt();
+        sys.setProgram(1, pb.build());
+    }
+    sys.setLockClassifier(lay.classifier());
+    ASSERT_TRUE(sys.run());
+    EXPECT_EQ(readCoherent(sys, data + 8), 50u);
+    EXPECT_EQ(readCoherent(sys, data), 50u);
+}
+
+TEST(TlrMechanism, UntimestampedConflictsAbortPolicy)
+{
+    MachineParams mp = params(Scheme::BaseSleTlr, 2);
+    mp.spec.deferUntimestamped = false;
+    Layout lay;
+    Addr lock = lay.allocLock();
+    Addr data = lay.allocLine();
+    System sys(mp);
+    {
+        ProgramBuilder pb;
+        pb.li(rLock, static_cast<std::int64_t>(lock));
+        pb.li(rA, static_cast<std::int64_t>(data));
+        pb.li(rIter, 30);
+        pb.label("loop");
+        emitTtsAcquire(pb, rLock, rT0, rT1);
+        pb.ld(rV, rA, 8).addi(rV, rV, 1).st(rV, rA, 8);
+        emitTtsRelease(pb, rLock);
+        pb.addi(rIter, rIter, -1);
+        pb.bne(rIter, 0, "loop");
+        pb.halt();
+        sys.setProgram(0, pb.build());
+    }
+    {
+        ProgramBuilder pb;
+        pb.li(rA, static_cast<std::int64_t>(data));
+        pb.li(rIter, 30);
+        pb.label("loop");
+        pb.ld(rV, rA).addi(rV, rV, 1).st(rV, rA);
+        pb.addi(rIter, rIter, -1);
+        pb.bne(rIter, 0, "loop");
+        pb.halt();
+        sys.setProgram(1, pb.build());
+    }
+    sys.setLockClassifier(lay.classifier());
+    ASSERT_TRUE(sys.run());
+    EXPECT_EQ(readCoherent(sys, data + 8), 30u);
+    EXPECT_EQ(readCoherent(sys, data), 30u);
+}
+
+TEST(TlrMechanism, SingleCounterIsNearlyRestartFree)
+{
+    // Paper Section 6.2: with the single-block relaxation, TLR on the
+    // single-counter microbenchmark forms an ideal hardware queue and
+    // processors almost never restart.
+    MicroParams p;
+    p.numCpus = 8;
+    p.totalOps = 512;
+    Workload wl = makeSingleCounter(p);
+    System sys(params(Scheme::BaseSleTlr, 8));
+    installWorkload(sys, wl);
+    ASSERT_TRUE(sys.run());
+    ASSERT_TRUE(wl.validate(sys));
+    EXPECT_LE(sys.stats().sum("spec", "restarts"), 16u);
+    EXPECT_GT(sys.stats().sum("l1_", "relaxedDefers"), 0u);
+}
+
+TEST(TlrMechanism, StrictTimestampsRestartMore)
+{
+    MicroParams p;
+    p.numCpus = 8;
+    p.totalOps = 512;
+    auto run = [&](Scheme s) {
+        Workload wl = makeSingleCounter(p);
+        System sys(params(s, 8));
+        installWorkload(sys, wl);
+        EXPECT_TRUE(sys.run());
+        EXPECT_TRUE(wl.validate(sys));
+        return sys.stats().sum("spec", "restarts");
+    };
+    std::uint64_t relaxed = run(Scheme::BaseSleTlr);
+    std::uint64_t strict = run(Scheme::TlrStrictTs);
+    EXPECT_GT(strict, relaxed);
+}

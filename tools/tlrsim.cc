@@ -1,0 +1,273 @@
+/**
+ * @file
+ * tlrsim — command-line driver for the TLR simulator.
+ *
+ * Runs any built-in workload under any scheme without writing C++:
+ *
+ *   tlrsim --workload=single-counter --scheme=tlr --cpus=16 --ops=4096
+ *   tlrsim --workload=radiosity --scheme=base --stats=spec
+ *   tlrsim --workload=dlist --scheme=tlr --trace 2>trace.log
+ *
+ * Run with --help for the full flag list. Exit status is 0 on a
+ * completed, validated run; 2 on validation failure; 3 on watchdog
+ * timeout (livelock).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "harness/runner.hh"
+#include "harness/scheme.hh"
+#include "harness/system.hh"
+#include "sim/logging.hh"
+#include "workloads/apps.hh"
+#include "workloads/micro.hh"
+#include "workloads/extra.hh"
+#include "workloads/scenarios.hh"
+
+using namespace tlr;
+
+namespace
+{
+
+struct Options
+{
+    std::string workload = "single-counter";
+    std::string scheme = "tlr";
+    std::string protocol = "broadcast";
+    int cpus = 8;
+    std::uint64_t ops = 1024;
+    std::uint64_t seed = 12345;
+    bool trace = false;
+    std::string statsPrefix; // empty = no dump; "all" = everything
+    Tick maxTicks = 2'000'000'000ull;
+    unsigned wbLines = 64;
+    unsigned victimEntries = 16;
+    Tick yieldTimeout = 1000;
+    int preemptEvery = 0;
+    Tick preemptQuantum = 10000;
+    bool listWorkloads = false;
+};
+
+void
+usage()
+{
+    std::printf(
+        "tlrsim — Transactional Lock Removal simulator driver\n\n"
+        "  --workload=NAME     workload to run (see --list)\n"
+        "  --scheme=S          base | sle | tlr | tlr-strict | mcs\n"
+        "  --protocol=P        broadcast | directory\n"
+        "  --cpus=N            processor count (default 8)\n"
+        "  --ops=N             total operations / iterations per cpu\n"
+        "  --seed=N            deterministic RNG seed\n"
+        "  --wb-lines=N        speculative write-buffer lines (64)\n"
+        "  --victim=N          victim-cache entries (16)\n"
+        "  --yield-timeout=N   deadlock-recovery window in cycles\n"
+        "  --preempt-every=N   preempt a core every N cycles (0 = off)\n"
+        "  --preempt-quantum=N suspension length in cycles\n"
+        "  --max-ticks=N       watchdog horizon\n"
+        "  --stats[=PREFIX]    dump counters (optionally filtered)\n"
+        "  --trace             emit the event trace on stderr\n"
+        "  --list              list workloads and exit\n");
+}
+
+Scheme
+parseScheme(const std::string &s)
+{
+    if (s == "base")
+        return Scheme::Base;
+    if (s == "sle")
+        return Scheme::BaseSle;
+    if (s == "tlr")
+        return Scheme::BaseSleTlr;
+    if (s == "tlr-strict")
+        return Scheme::TlrStrictTs;
+    if (s == "mcs")
+        return Scheme::Mcs;
+    fatal("unknown scheme '%s' (base|sle|tlr|tlr-strict|mcs)",
+          s.c_str());
+}
+
+Workload
+buildWorkload(const Options &o, LockKind kind)
+{
+    MicroParams mp;
+    mp.numCpus = o.cpus;
+    mp.lockKind = kind;
+    mp.totalOps = o.ops;
+    if (o.workload == "single-counter")
+        return makeSingleCounter(mp);
+    if (o.workload == "multiple-counter")
+        return makeMultipleCounter(mp);
+    if (o.workload == "dlist")
+        return makeDoublyLinkedList(mp);
+    if (o.workload == "reverse-writers")
+        return makeReverseWriters(o.cpus, o.ops);
+    if (o.workload == "rotated-blocks")
+        return makeRotatedBlocks(o.cpus, o.ops);
+    for (AppProfile p : allAppProfiles()) {
+        if (o.workload == p.name) {
+            p.itersPerCpu = o.ops;
+            return makeAppKernel(p, o.cpus, kind);
+        }
+    }
+    if (o.workload == "bank")
+        return makeBankTransfer(o.cpus, 16, o.ops, kind);
+    if (o.workload == "octree")
+        return makeOctreeInsert(o.cpus, 2, o.ops, kind);
+    if (o.workload == "history")
+        return makeHistoryCounter(o.cpus, o.ops, kind);
+    if (o.workload == "mp3d-coarse") {
+        AppProfile p = mp3dCoarseProfile();
+        p.itersPerCpu = o.ops;
+        return makeAppKernel(p, o.cpus, kind);
+    }
+    fatal("unknown workload '%s' (try --list)", o.workload.c_str());
+}
+
+void
+listWorkloads()
+{
+    std::printf("microbenchmarks (paper Section 5.1):\n"
+                "  multiple-counter  coarse-grain / no conflicts\n"
+                "  single-counter    fine-grain / high conflict\n"
+                "  dlist             fine-grain / dynamic conflicts\n"
+                "scenarios (paper figures):\n"
+                "  reverse-writers   Figures 2/4 conflict pattern\n"
+                "  rotated-blocks    Figure 6 chain pattern\n"
+                "application kernels (paper Table 1):\n");
+    for (const AppProfile &p : allAppProfiles())
+        std::printf("  %s\n", p.name.c_str());
+    std::printf("  mp3d-coarse       one lock over all cells (§6.3)\n"
+                "extended workloads:\n"
+                "  bank              nested ordered account locks\n"
+                "  octree            barnes-like tree-node locking\n"
+                "  history           serialization-witness counter\n");
+}
+
+bool
+parseFlag(const char *arg, const char *name, std::string &out)
+{
+    size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+        out = arg + n + 1;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        const char *a = argv[i];
+        if (parseFlag(a, "--workload", v)) o.workload = v;
+        else if (parseFlag(a, "--scheme", v)) o.scheme = v;
+        else if (parseFlag(a, "--protocol", v)) o.protocol = v;
+        else if (parseFlag(a, "--cpus", v)) o.cpus = std::atoi(v.c_str());
+        else if (parseFlag(a, "--ops", v))
+            o.ops = std::strtoull(v.c_str(), nullptr, 0);
+        else if (parseFlag(a, "--seed", v))
+            o.seed = std::strtoull(v.c_str(), nullptr, 0);
+        else if (parseFlag(a, "--wb-lines", v))
+            o.wbLines = static_cast<unsigned>(std::atoi(v.c_str()));
+        else if (parseFlag(a, "--victim", v))
+            o.victimEntries = static_cast<unsigned>(std::atoi(v.c_str()));
+        else if (parseFlag(a, "--yield-timeout", v))
+            o.yieldTimeout = std::strtoull(v.c_str(), nullptr, 0);
+        else if (parseFlag(a, "--preempt-every", v))
+            o.preemptEvery = std::atoi(v.c_str());
+        else if (parseFlag(a, "--preempt-quantum", v))
+            o.preemptQuantum = std::strtoull(v.c_str(), nullptr, 0);
+        else if (parseFlag(a, "--max-ticks", v))
+            o.maxTicks = std::strtoull(v.c_str(), nullptr, 0);
+        else if (parseFlag(a, "--stats", v)) o.statsPrefix = v;
+        else if (std::strcmp(a, "--stats") == 0) o.statsPrefix = "all";
+        else if (std::strcmp(a, "--trace") == 0) o.trace = true;
+        else if (std::strcmp(a, "--list") == 0) o.listWorkloads = true;
+        else if (std::strcmp(a, "--help") == 0 ||
+                 std::strcmp(a, "-h") == 0) {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", a);
+            usage();
+            return 1;
+        }
+    }
+    if (o.listWorkloads) {
+        listWorkloads();
+        return 0;
+    }
+
+    Trace::enabled = o.trace;
+    Scheme scheme = parseScheme(o.scheme);
+
+    MachineParams mp;
+    mp.numCpus = o.cpus;
+    if (o.protocol == "directory")
+        mp.protocol = Protocol::Directory;
+    else if (o.protocol != "broadcast")
+        fatal("unknown protocol '%s' (broadcast|directory)",
+              o.protocol.c_str());
+    mp.spec = schemeSpecConfig(scheme);
+    mp.spec.writeBufferLines = o.wbLines;
+    mp.l1.victimEntries = o.victimEntries;
+    mp.l1.yieldTimeout = o.yieldTimeout;
+    mp.seed = o.seed;
+    mp.maxTicks = o.maxTicks;
+
+    System sys(mp);
+    Workload wl = buildWorkload(o, schemeLockKind(scheme));
+    installWorkload(sys, wl);
+    if (o.preemptEvery > 0) {
+        for (int k = 1;
+             static_cast<Tick>(k) * static_cast<Tick>(o.preemptEvery) <
+             o.maxTicks && k <= 100000;
+             ++k) {
+            sys.preemptCore(k % o.cpus,
+                            static_cast<Tick>(k) *
+                                static_cast<Tick>(o.preemptEvery),
+                            o.preemptQuantum);
+        }
+    }
+
+    bool completed = sys.run();
+    bool valid = wl.validate ? wl.validate(sys) : true;
+    const StatSet &s = sys.stats();
+
+    std::printf("workload=%s scheme=%s cpus=%d ops=%llu\n",
+                wl.name.c_str(), schemeName(scheme), o.cpus,
+                static_cast<unsigned long long>(o.ops));
+    std::printf("completed=%s valid=%s cycles=%llu\n",
+                completed ? "yes" : "NO (watchdog)",
+                valid ? "yes" : "NO",
+                static_cast<unsigned long long>(sys.completionTick()));
+    std::printf("commits=%llu restarts=%llu fallbacks=%llu defers=%llu "
+                "probes=%llu busTxns=%llu\n",
+                static_cast<unsigned long long>(s.sum("spec", "commits")),
+                static_cast<unsigned long long>(
+                    s.sum("spec", "restarts")),
+                static_cast<unsigned long long>(
+                    s.sum("spec", "fallbacks")),
+                static_cast<unsigned long long>(s.sum("l1_", "defers")),
+                static_cast<unsigned long long>(
+                    s.get("net", "probeMsgs")),
+                static_cast<unsigned long long>(
+                    s.get("bus", "transactions")));
+    if (!o.statsPrefix.empty()) {
+        std::printf("%s",
+                    s.dump(o.statsPrefix == "all" ? "" : o.statsPrefix)
+                        .c_str());
+    }
+    if (!completed)
+        return 3;
+    return valid ? 0 : 2;
+}
