@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_coarse_vs_fine.dir/exp_coarse_vs_fine.cc.o"
+  "CMakeFiles/exp_coarse_vs_fine.dir/exp_coarse_vs_fine.cc.o.d"
+  "exp_coarse_vs_fine"
+  "exp_coarse_vs_fine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_coarse_vs_fine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

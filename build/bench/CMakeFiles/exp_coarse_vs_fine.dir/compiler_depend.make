@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_coarse_vs_fine.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_livelock.dir/exp_livelock.cc.o"
+  "CMakeFiles/exp_livelock.dir/exp_livelock.cc.o.d"
+  "exp_livelock"
+  "exp_livelock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_livelock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

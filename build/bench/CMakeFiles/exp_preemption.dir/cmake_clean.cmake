@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_preemption.dir/exp_preemption.cc.o"
+  "CMakeFiles/exp_preemption.dir/exp_preemption.cc.o.d"
+  "exp_preemption"
+  "exp_preemption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_preemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

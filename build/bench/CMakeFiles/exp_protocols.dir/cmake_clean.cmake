@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_protocols.dir/exp_protocols.cc.o"
+  "CMakeFiles/exp_protocols.dir/exp_protocols.cc.o.d"
+  "exp_protocols"
+  "exp_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_resources.dir/exp_resources.cc.o"
+  "CMakeFiles/exp_resources.dir/exp_resources.cc.o.d"
+  "exp_resources"
+  "exp_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_rmw_predictor.dir/exp_rmw_predictor.cc.o"
+  "CMakeFiles/exp_rmw_predictor.dir/exp_rmw_predictor.cc.o.d"
+  "exp_rmw_predictor"
+  "exp_rmw_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_rmw_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_yield_timeout.dir/exp_yield_timeout.cc.o"
+  "CMakeFiles/exp_yield_timeout.dir/exp_yield_timeout.cc.o.d"
+  "exp_yield_timeout"
+  "exp_yield_timeout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_yield_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

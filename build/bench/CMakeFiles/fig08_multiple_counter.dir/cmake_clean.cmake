@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_multiple_counter.dir/fig08_multiple_counter.cc.o"
+  "CMakeFiles/fig08_multiple_counter.dir/fig08_multiple_counter.cc.o.d"
+  "fig08_multiple_counter"
+  "fig08_multiple_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_multiple_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_single_counter.dir/fig09_single_counter.cc.o"
+  "CMakeFiles/fig09_single_counter.dir/fig09_single_counter.cc.o.d"
+  "fig09_single_counter"
+  "fig09_single_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_single_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

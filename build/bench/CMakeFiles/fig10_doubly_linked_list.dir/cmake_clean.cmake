@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_doubly_linked_list.dir/fig10_doubly_linked_list.cc.o"
+  "CMakeFiles/fig10_doubly_linked_list.dir/fig10_doubly_linked_list.cc.o.d"
+  "fig10_doubly_linked_list"
+  "fig10_doubly_linked_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_doubly_linked_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_doubly_linked_list.
+# This may be replaced when dependencies are built.

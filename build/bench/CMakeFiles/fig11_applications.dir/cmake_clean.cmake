@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_applications.dir/fig11_applications.cc.o"
+  "CMakeFiles/fig11_applications.dir/fig11_applications.cc.o.d"
+  "fig11_applications"
+  "fig11_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coarse_locking.dir/coarse_locking.cpp.o"
+  "CMakeFiles/coarse_locking.dir/coarse_locking.cpp.o.d"
+  "coarse_locking"
+  "coarse_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coarse_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

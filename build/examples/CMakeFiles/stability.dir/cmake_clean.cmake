@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stability.dir/stability.cpp.o"
+  "CMakeFiles/stability.dir/stability.cpp.o.d"
+  "stability"
+  "stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

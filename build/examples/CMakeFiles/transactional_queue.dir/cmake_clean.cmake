@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transactional_queue.dir/transactional_queue.cpp.o"
+  "CMakeFiles/transactional_queue.dir/transactional_queue.cpp.o.d"
+  "transactional_queue"
+  "transactional_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transactional_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

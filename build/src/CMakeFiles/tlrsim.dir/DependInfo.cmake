@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coherence/directory.cc" "src/CMakeFiles/tlrsim.dir/coherence/directory.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/coherence/directory.cc.o.d"
+  "/root/repo/src/coherence/interconnect.cc" "src/CMakeFiles/tlrsim.dir/coherence/interconnect.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/coherence/interconnect.cc.o.d"
+  "/root/repo/src/coherence/l1_controller.cc" "src/CMakeFiles/tlrsim.dir/coherence/l1_controller.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/coherence/l1_controller.cc.o.d"
+  "/root/repo/src/coherence/memory_controller.cc" "src/CMakeFiles/tlrsim.dir/coherence/memory_controller.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/coherence/memory_controller.cc.o.d"
+  "/root/repo/src/core/predictors.cc" "src/CMakeFiles/tlrsim.dir/core/predictors.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/core/predictors.cc.o.d"
+  "/root/repo/src/core/spec_engine.cc" "src/CMakeFiles/tlrsim.dir/core/spec_engine.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/core/spec_engine.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/tlrsim.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/cpu/core.cc.o.d"
+  "/root/repo/src/cpu/isa.cc" "src/CMakeFiles/tlrsim.dir/cpu/isa.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/cpu/isa.cc.o.d"
+  "/root/repo/src/cpu/program.cc" "src/CMakeFiles/tlrsim.dir/cpu/program.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/cpu/program.cc.o.d"
+  "/root/repo/src/harness/runner.cc" "src/CMakeFiles/tlrsim.dir/harness/runner.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/harness/runner.cc.o.d"
+  "/root/repo/src/harness/system.cc" "src/CMakeFiles/tlrsim.dir/harness/system.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/harness/system.cc.o.d"
+  "/root/repo/src/harness/table.cc" "src/CMakeFiles/tlrsim.dir/harness/table.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/harness/table.cc.o.d"
+  "/root/repo/src/mem/backing_store.cc" "src/CMakeFiles/tlrsim.dir/mem/backing_store.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/mem/backing_store.cc.o.d"
+  "/root/repo/src/mem/cache_array.cc" "src/CMakeFiles/tlrsim.dir/mem/cache_array.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/mem/cache_array.cc.o.d"
+  "/root/repo/src/mem/line.cc" "src/CMakeFiles/tlrsim.dir/mem/line.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/mem/line.cc.o.d"
+  "/root/repo/src/mem/victim_cache.cc" "src/CMakeFiles/tlrsim.dir/mem/victim_cache.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/mem/victim_cache.cc.o.d"
+  "/root/repo/src/mem/write_buffer.cc" "src/CMakeFiles/tlrsim.dir/mem/write_buffer.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/mem/write_buffer.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/tlrsim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/tlrsim.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/tlrsim.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sync/barrier.cc" "src/CMakeFiles/tlrsim.dir/sync/barrier.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/sync/barrier.cc.o.d"
+  "/root/repo/src/sync/layout.cc" "src/CMakeFiles/tlrsim.dir/sync/layout.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/sync/layout.cc.o.d"
+  "/root/repo/src/sync/lock_progs.cc" "src/CMakeFiles/tlrsim.dir/sync/lock_progs.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/sync/lock_progs.cc.o.d"
+  "/root/repo/src/workloads/apps.cc" "src/CMakeFiles/tlrsim.dir/workloads/apps.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/workloads/apps.cc.o.d"
+  "/root/repo/src/workloads/extra.cc" "src/CMakeFiles/tlrsim.dir/workloads/extra.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/workloads/extra.cc.o.d"
+  "/root/repo/src/workloads/micro.cc" "src/CMakeFiles/tlrsim.dir/workloads/micro.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/workloads/micro.cc.o.d"
+  "/root/repo/src/workloads/scenarios.cc" "src/CMakeFiles/tlrsim.dir/workloads/scenarios.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/workloads/scenarios.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/tlrsim.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/tlrsim.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for tlrsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preemption.dir/test_preemption.cc.o"
+  "CMakeFiles/test_preemption.dir/test_preemption.cc.o.d"
+  "test_preemption"
+  "test_preemption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

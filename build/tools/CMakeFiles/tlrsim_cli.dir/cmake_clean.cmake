@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlrsim_cli.dir/tlrsim.cc.o"
+  "CMakeFiles/tlrsim_cli.dir/tlrsim.cc.o.d"
+  "tlrsim"
+  "tlrsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlrsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

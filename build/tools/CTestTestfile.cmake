@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_help "/root/repo/build/tools/tlrsim" "--help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_list "/root/repo/build/tools/tlrsim" "--list")
+set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_tlr_single_counter "/root/repo/build/tools/tlrsim" "--workload=single-counter" "--scheme=tlr" "--cpus=8" "--ops=256")
+set_tests_properties(cli_tlr_single_counter PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_mcs_dlist "/root/repo/build/tools/tlrsim" "--workload=dlist" "--scheme=mcs" "--cpus=4" "--ops=128")
+set_tests_properties(cli_mcs_dlist PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_directory_bank "/root/repo/build/tools/tlrsim" "--workload=bank" "--scheme=tlr" "--protocol=directory" "--cpus=4" "--ops=64")
+set_tests_properties(cli_directory_bank PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_preemption "/root/repo/build/tools/tlrsim" "--workload=single-counter" "--scheme=tlr" "--cpus=4" "--ops=128" "--preempt-every=2000" "--preempt-quantum=500")
+set_tests_properties(cli_preemption PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_small_write_buffer "/root/repo/build/tools/tlrsim" "--workload=cholesky" "--scheme=tlr" "--cpus=4" "--ops=16" "--wb-lines=8")
+set_tests_properties(cli_small_write_buffer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_strict_scheme "/root/repo/build/tools/tlrsim" "--workload=rotated-blocks" "--scheme=tlr-strict" "--cpus=4" "--ops=32")
+set_tests_properties(cli_strict_scheme PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
