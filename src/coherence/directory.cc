@@ -20,9 +20,11 @@ DirectoryInterconnect::submit(const BusRequest &req)
 {
     BusRequest r = req;
     r.sn = nextSn_++;
-    DTRACE(eq_.now(), "Dir", "submit %s line=%#llx cpu=%d %s",
-           reqTypeName(r.type), static_cast<unsigned long long>(r.line),
-           r.requester, r.ts.str().c_str());
+    if (TLR_TRACE_ARMED(trace_))
+        trace_->emit(eq_.now(), TraceComp::Dir, TraceEvent::CohSubmit,
+                     r.requester, r.line,
+                     static_cast<std::uint64_t>(r.type), r.ts.clock,
+                     packTsMeta(r.ts));
     // Request travels to the home node, then queues for the directory
     // pipeline (one ordered transaction per addrOccupancy cycles).
     eq_.scheduleIn(params_.snoopLatency,
@@ -55,9 +57,11 @@ DirectoryInterconnect::pump()
 void
 DirectoryInterconnect::process(const BusRequest &req)
 {
-    DTRACE(eq_.now(), "Dir", "order %s line=%#llx cpu=%d sn=%llu",
-           reqTypeName(req.type), static_cast<unsigned long long>(req.line),
-           req.requester, static_cast<unsigned long long>(req.sn));
+    if (TLR_TRACE_ARMED(trace_))
+        trace_->emit(eq_.now(), TraceComp::Dir, TraceEvent::CohOrder,
+                     req.requester, req.line,
+                     static_cast<std::uint64_t>(req.type), req.sn,
+                     req.ts.clock, packTsMeta(req.ts));
     Entry &e = dir_[req.line];
     auto snooper = [this](CpuId c) {
         return snoopers_.at(static_cast<size_t>(c));

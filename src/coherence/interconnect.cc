@@ -40,9 +40,11 @@ void
 Interconnect::sendData(CpuId to, const DataMsg &msg)
 {
     ++dataMsgs_;
-    DTRACE(eq_.now(), "Net", "data line=%#llx from=%d to=%d grant=%d",
-           static_cast<unsigned long long>(msg.line), msg.from, to,
-           static_cast<int>(msg.grant));
+    if (TLR_TRACE_ARMED(trace_))
+        trace_->emit(eq_.now(), TraceComp::Net, TraceEvent::CohData,
+                     msg.from, msg.line,
+                     static_cast<std::uint64_t>(to),
+                     static_cast<std::uint64_t>(msg.grant));
     eq_.scheduleIn(params_.dataLatency,
                    [this, to, msg] {
                        snoopers_.at(static_cast<size_t>(to))
@@ -55,6 +57,10 @@ void
 Interconnect::sendMarker(CpuId to, const MarkerMsg &msg)
 {
     ++markerMsgs_;
+    if (TLR_TRACE_ARMED(trace_))
+        trace_->emit(eq_.now(), TraceComp::Net, TraceEvent::CohMarker,
+                     msg.from, msg.line,
+                     static_cast<std::uint64_t>(to));
     eq_.scheduleIn(params_.dataLatency,
                    [this, to, msg] {
                        snoopers_.at(static_cast<size_t>(to))->marker(msg);
@@ -66,6 +72,11 @@ void
 Interconnect::sendProbe(CpuId to, const ProbeMsg &msg)
 {
     ++probeMsgs_;
+    if (TLR_TRACE_ARMED(trace_))
+        trace_->emit(eq_.now(), TraceComp::Net, TraceEvent::CohProbe,
+                     msg.from, msg.line,
+                     static_cast<std::uint64_t>(to), msg.ts.clock,
+                     packTsMeta(msg.ts));
     eq_.scheduleIn(params_.dataLatency,
                    [this, to, msg] {
                        snoopers_.at(static_cast<size_t>(to))->probe(msg);
@@ -89,9 +100,11 @@ BroadcastInterconnect::submit(const BusRequest &req)
 {
     BusRequest r = req;
     r.sn = nextSn_++;
-    DTRACE(eq_.now(), "Bus", "submit %s line=%#llx cpu=%d %s",
-           reqTypeName(r.type), static_cast<unsigned long long>(r.line),
-           r.requester, r.ts.str().c_str());
+    if (TLR_TRACE_ARMED(trace_))
+        trace_->emit(eq_.now(), TraceComp::Bus, TraceEvent::CohSubmit,
+                     r.requester, r.line,
+                     static_cast<std::uint64_t>(r.type), r.ts.clock,
+                     packTsMeta(r.ts));
     queues_.at(static_cast<size_t>(r.requester)).push_back(r);
     if (!arbScheduled_) {
         arbScheduled_ = true;
@@ -130,9 +143,11 @@ BroadcastInterconnect::arbitrate()
 void
 BroadcastInterconnect::deliver(BusRequest req)
 {
-    DTRACE(eq_.now(), "Bus", "order %s line=%#llx cpu=%d sn=%llu",
-           reqTypeName(req.type), static_cast<unsigned long long>(req.line),
-           req.requester, static_cast<unsigned long long>(req.sn));
+    if (TLR_TRACE_ARMED(trace_))
+        trace_->emit(eq_.now(), TraceComp::Bus, TraceEvent::CohOrder,
+                     req.requester, req.line,
+                     static_cast<std::uint64_t>(req.type), req.sn,
+                     req.ts.clock, packTsMeta(req.ts));
 
     if (req.type == ReqType::WriteBack) {
         // Data already absorbed functionally at eviction time; the bus

@@ -34,6 +34,7 @@
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "trace/sink.hh"
 
 namespace tlr
 {
@@ -90,6 +91,7 @@ class Interconnect
     /** Register controllers (index == CpuId) and the memory. */
     virtual void addSnooper(Snooper *s);
     void setMemory(MemoryController *mem) { mem_ = mem; }
+    void setTrace(TraceSink *sink) { trace_ = sink; }
 
     /** Enqueue an address transaction for ordering. */
     virtual void submit(const BusRequest &req) = 0;
@@ -107,6 +109,7 @@ class Interconnect
     StatSet &stats_;
     InterconnectParams params_;
     MemoryController *mem_ = nullptr;
+    TraceSink *trace_ = nullptr;
     std::vector<Snooper *> snoopers_;
     std::uint64_t nextSn_ = 1;
 

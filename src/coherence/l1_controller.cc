@@ -94,6 +94,9 @@ L1Controller::evictLine(CacheLine &line)
         ++writeBacksInit_;
     }
     clearLinkIf(line.addr);
+    if (TLR_TRACE_ARMED(trace_))
+        trace_->emit(eq_.now(), TraceComp::L1, TraceEvent::LineInval,
+                     id_, line.addr);
     line.invalidate();
     return true;
 }
@@ -121,6 +124,10 @@ L1Controller::installLine(Addr line_addr, const LineData &data,
     slot->clearAccess();
     slot->pinned = false;
     array_.touch(*slot, eq_.now());
+    if (TLR_TRACE_ARMED(trace_))
+        trace_->emit(eq_.now(), TraceComp::L1, TraceEvent::LineInstall,
+                     id_, line_addr,
+                     static_cast<std::uint64_t>(state));
     return slot;
 }
 
@@ -250,6 +257,9 @@ L1Controller::maybeArmYield()
     Addr cycleLine = 0;
     if (hooks_.specActive() && outstandingSpecMisses() > 0 &&
         detectTwoCycle(&cycleLine)) {
+        if (TLR_TRACE_ARMED(trace_))
+            trace_->emit(eq_.now(), TraceComp::L1, TraceEvent::CohYield,
+                         id_, cycleLine);
         forwardContenderProbes();
         hooks_.conflictAbort(cycleLine, AbortReason::ConflictLost);
         return;
@@ -284,6 +294,9 @@ L1Controller::yieldFire(std::uint64_t gen)
     // We have both waited for yieldTimeout and held off a
     // higher-priority contender the whole time: a cyclic wait is the
     // only schedule that cannot drain, so enforce timestamp order.
+    if (TLR_TRACE_ARMED(trace_))
+        trace_->emit(eq_.now(), TraceComp::L1, TraceEvent::CohYield, id_,
+                     line);
     forwardContenderProbes();
     hooks_.conflictAbort(line, AbortReason::ConflictLost);
 }
@@ -298,6 +311,9 @@ L1Controller::yieldBeforeWaiting(Addr la, bool spec)
         // would begin while a higher-priority contender is held off
         // (paper Section 3.2).
         if (hasEarlierContender()) {
+            if (TLR_TRACE_ARMED(trace_))
+                trace_->emit(eq_.now(), TraceComp::L1,
+                             TraceEvent::CohYield, id_, la);
             forwardContenderProbes();
             hooks_.conflictAbort(la, AbortReason::ConflictLost);
             return true;
@@ -316,9 +332,10 @@ L1Controller::missIssue(const CacheOp &op, ReqType type)
     Addr la = lineAlign(op.addr);
     if (yieldBeforeWaiting(la, op.spec))
         return;
-    DTRACE(eq_.now(), "L1", "cpu%d missIssue %s line=%#llx spec=%d",
-           id_, reqTypeName(type), static_cast<unsigned long long>(la),
-           op.spec ? 1 : 0);
+    if (TLR_TRACE_ARMED(trace_))
+        trace_->emit(eq_.now(), TraceComp::L1, TraceEvent::CohMiss, id_,
+                     la, static_cast<std::uint64_t>(type),
+                     op.spec ? 1 : 0);
     ++misses_;
     if (type == ReqType::Upgrade)
         ++upgrades_;
@@ -368,6 +385,10 @@ L1Controller::access(const CacheOp &op)
                 linkLine_ = la;
                 linkAddr_ = op.addr;
             }
+            if (op.spec && TLR_TRACE_ARMED(trace_))
+                trace_->emit(eq_.now(), TraceComp::L1,
+                             TraceEvent::TxnRead, id_, op.addr,
+                             l->data[wi]);
             respond(op, l->data[wi]);
             return;
         }
@@ -383,6 +404,10 @@ L1Controller::access(const CacheOp &op)
             l->data[wi] = op.data;
             l->state = CohState::Modified;
             clearLinkIf(la);
+            if (!op.spec && TLR_TRACE_ARMED(trace_))
+                trace_->emit(eq_.now(), TraceComp::L1,
+                             TraceEvent::MemWrite, id_, op.addr,
+                             op.data);
             respond(op, 0);
             return;
         }
@@ -396,6 +421,10 @@ L1Controller::access(const CacheOp &op)
             l->accessWrite = true;
             // The current word value is returned so speculative
             // atomics can read-modify-write through the write buffer.
+            if (op.spec && TLR_TRACE_ARMED(trace_))
+                trace_->emit(eq_.now(), TraceComp::L1,
+                             TraceEvent::TxnRead, id_, op.addr,
+                             l->data[wi]);
             respond(op, l->data[wi]);
             return;
         }
@@ -419,6 +448,11 @@ L1Controller::access(const CacheOp &op)
                 l->state = CohState::Modified;
                 clearLinkIf(la);
             }
+            if (!op.spec && l->data[wi] != old &&
+                TLR_TRACE_ARMED(trace_))
+                trace_->emit(eq_.now(), TraceComp::L1,
+                             TraceEvent::MemWrite, id_, op.addr,
+                             l->data[wi]);
             respond(op, old);
             return;
         }
@@ -436,6 +470,10 @@ L1Controller::access(const CacheOp &op)
             l->data[wi] = op.data;
             l->state = CohState::Modified;
             linkValid_ = false;
+            if (!op.spec && TLR_TRACE_ARMED(trace_))
+                trace_->emit(eq_.now(), TraceComp::L1,
+                             TraceEvent::MemWrite, id_, op.addr,
+                             op.data);
             respond(op, 1);
             return;
         }
@@ -518,6 +556,7 @@ L1Controller::handleChainSnoop(Mshr &mshr, const BusRequest &req,
         conflicts(req, readIntent, writeIntent)) {
         hooks_.noteConflictTs(req.ts);
         bool win = winsConflict(req.ts);
+        bool relaxed = false;
         if (!win && hooks_.tlrActive() && !hooks_.strictTimestamps() &&
             outstandingSpecMisses() == 1 && deferred_.empty()) {
             // Paper Section 3.2: our transaction is involved with a
@@ -526,6 +565,7 @@ L1Controller::handleChainSnoop(Mshr &mshr, const BusRequest &req,
             // sent above carries the contender's priority to the
             // data holder, which yields if it must.
             win = true;
+            relaxed = true;
             ++relaxedDefers_;
         }
         if (!win && !hooks_.strictTimestamps() && req.ts.valid) {
@@ -535,11 +575,19 @@ L1Controller::handleChainSnoop(Mshr &mshr, const BusRequest &req,
             // timestamp order only if this wait persists — in an
             // order-consistent queue we finish first and service it.
             win = true;
+            relaxed = true;
         }
         if (win) {
             // The requester waits until we commit.
             w.deferred = true;
             ++defers_;
+            if (TLR_TRACE_ARMED(trace_))
+                trace_->emit(eq_.now(), TraceComp::L1,
+                             relaxed ? TraceEvent::CohRelaxedDefer
+                                     : TraceEvent::CohDefer,
+                             id_, mshr.line, req.requester,
+                             static_cast<std::uint64_t>(req.type),
+                             req.ts.clock, packTsMeta(req.ts));
             if (req.ts.valid &&
                 req.ts.earlierThan(hooks_.currentTs())) {
                 mshr.waiters.push_back(w);
@@ -550,6 +598,13 @@ L1Controller::handleChainSnoop(Mshr &mshr, const BusRequest &req,
             }
         } else {
             // Strict mode / un-deferrable: step aside immediately.
+            if (TLR_TRACE_ARMED(trace_) && hooks_.tlrActive()) {
+                const Timestamp own = hooks_.currentTs();
+                trace_->emit(eq_.now(), TraceComp::L1,
+                             TraceEvent::CohLose, id_, mshr.line,
+                             req.ts.clock, packTsMeta(req.ts),
+                             own.clock, packTsMeta(own));
+            }
             mshr.loseOnArrival = true;
             hooks_.conflictAbort(mshr.line, AbortReason::ConflictLost);
         }
@@ -573,6 +628,7 @@ L1Controller::handleOwnerSnoop(CacheLine &line, const BusRequest &req,
         // upgrade for it, so holding requests hostage from O could
         // invert the protocol order: lose the conflict instead.
         bool win = isWritableState(line.state) && winsConflict(req.ts);
+        bool relaxed = false;
         if (!win && isWritableState(line.state) && hooks_.tlrActive() &&
             !hooks_.strictTimestamps() && req.ts.valid) {
             // Relaxed mode: retain the block and queue even a
@@ -581,12 +637,17 @@ L1Controller::handleOwnerSnoop(CacheLine &line, const BusRequest &req,
             // service it; if we are, the deadlock-recovery timer
             // enforces timestamp order should the wait persist.
             win = true;
+            relaxed = true;
             ++relaxedDefers_;
         }
         if (win) {
-            DTRACE(eq_.now(), "L1", "cpu%d DEFER %s line=%#llx from=%d",
-                   id_, reqTypeName(req.type),
-                   static_cast<unsigned long long>(la), req.requester);
+            if (TLR_TRACE_ARMED(trace_))
+                trace_->emit(eq_.now(), TraceComp::L1,
+                             relaxed ? TraceEvent::CohRelaxedDefer
+                                     : TraceEvent::CohDefer,
+                             id_, la, req.requester,
+                             static_cast<std::uint64_t>(req.type),
+                             req.ts.clock, packTsMeta(req.ts));
             ++defers_;
             deferred_.push_back({la, req.requester, req.type, req.ts});
             line.pinned = true;
@@ -594,9 +655,13 @@ L1Controller::handleOwnerSnoop(CacheLine &line, const BusRequest &req,
             maybeArmYield();
             return; // owner=true already: requester waits on us
         }
-        DTRACE(eq_.now(), "L1", "cpu%d LOSE %s line=%#llx from=%d", id_,
-               reqTypeName(req.type), static_cast<unsigned long long>(la),
-               req.requester);
+        if (TLR_TRACE_ARMED(trace_) && hooks_.tlrActive() &&
+            isWritableState(line.state)) {
+            const Timestamp own = hooks_.currentTs();
+            trace_->emit(eq_.now(), TraceComp::L1, TraceEvent::CohLose,
+                         id_, la, req.ts.clock, packTsMeta(req.ts),
+                         own.clock, packTsMeta(own));
+        }
         hooks_.conflictAbort(la, isWritableState(line.state)
                                      ? AbortReason::ConflictLost
                                      : AbortReason::SharedInvalidation);
@@ -615,9 +680,16 @@ L1Controller::handleOwnerSnoop(CacheLine &line, const BusRequest &req,
         else if (line.state == CohState::Exclusive)
             line.state = CohState::Shared;
         reply.sharer = true;
+        if (TLR_TRACE_ARMED(trace_))
+            trace_->emit(eq_.now(), TraceComp::L1,
+                         TraceEvent::LineDowngrade, id_, la,
+                         static_cast<std::uint64_t>(line.state));
     } else {
         msg.grant = Grant::ModifiedData;
         clearLinkIf(la);
+        if (TLR_TRACE_ARMED(trace_))
+            trace_->emit(eq_.now(), TraceComp::L1, TraceEvent::LineInval,
+                         id_, la);
         line.invalidate();
         victim_.erase(la);
     }
@@ -629,10 +701,6 @@ L1Controller::snoop(const BusRequest &req)
 {
     SnoopReply reply;
     Addr la = req.line;
-    DTRACE(eq_.now(), "L1", "cpu%d snoop %s line=%#llx from=%d state=%s "
-           "mshr=%d", id_, reqTypeName(req.type),
-           static_cast<unsigned long long>(la), req.requester,
-           cohStateName(lineState(la)), mshrs_.count(la) ? 1 : 0);
 
     auto mit = mshrs_.find(la);
     if (mit != mshrs_.end() && mit->second.ordered) {
@@ -692,6 +760,9 @@ L1Controller::snoop(const BusRequest &req)
                 hooks_.conflictAbort(la, AbortReason::SharedInvalidation);
             }
             clearLinkIf(la);
+            if (TLR_TRACE_ARMED(trace_))
+                trace_->emit(eq_.now(), TraceComp::L1,
+                             TraceEvent::LineInval, id_, la);
             l->invalidate();
             victim_.erase(la);
             return reply;
@@ -712,6 +783,9 @@ L1Controller::snoop(const BusRequest &req)
             hooks_.conflictAbort(la, AbortReason::SharedInvalidation);
         }
         clearLinkIf(la);
+        if (TLR_TRACE_ARMED(trace_))
+            trace_->emit(eq_.now(), TraceComp::L1, TraceEvent::LineInval,
+                         id_, la);
         l->invalidate();
         victim_.erase(la);
     }
@@ -738,6 +812,9 @@ L1Controller::ownRequestOrdered(const BusRequest &req, bool any_owner,
             // (An Owned copy has the authoritative data already; the
             // snoop invalidated every other sharer.)
             l->state = CohState::Modified;
+            if (TLR_TRACE_ARMED(trace_))
+                trace_->emit(eq_.now(), TraceComp::L1,
+                             TraceEvent::LineUpgrade, id_, req.line);
             Mshr done = std::move(m);
             mshrs_.erase(it);
             finishOp(done, l, l->data);
@@ -782,6 +859,9 @@ L1Controller::finishOp(Mshr &mshr, CacheLine *line, const LineData &data)
             linkLine_ = lineAlign(op.addr);
             linkAddr_ = op.addr;
         }
+        if (op.spec && TLR_TRACE_ARMED(trace_))
+            trace_->emit(eq_.now(), TraceComp::L1, TraceEvent::TxnRead,
+                         id_, op.addr, v);
         respond(op, v);
         return;
       }
@@ -791,12 +871,18 @@ L1Controller::finishOp(Mshr &mshr, CacheLine *line, const LineData &data)
         line->data[wi] = op.data;
         line->state = CohState::Modified;
         clearLinkIf(lineAlign(op.addr));
+        if (!op.spec && TLR_TRACE_ARMED(trace_))
+            trace_->emit(eq_.now(), TraceComp::L1, TraceEvent::MemWrite,
+                         id_, op.addr, op.data);
         respond(op, 0);
         return;
       case CacheOp::Kind::EnsureExclusive:
         if (!line || !isWritableState(line->state))
             panic("l1 %d: ensureX fill without write permission", id_);
         line->accessWrite = true;
+        if (op.spec && TLR_TRACE_ARMED(trace_))
+            trace_->emit(eq_.now(), TraceComp::L1, TraceEvent::TxnRead,
+                         id_, op.addr, line->data[wi]);
         respond(op, line->data[wi]);
         return;
       case CacheOp::Kind::AtomicSwap:
@@ -815,6 +901,9 @@ L1Controller::finishOp(Mshr &mshr, CacheLine *line, const LineData &data)
             line->state = CohState::Modified;
             clearLinkIf(lineAlign(op.addr));
         }
+        if (!op.spec && line->data[wi] != old && TLR_TRACE_ARMED(trace_))
+            trace_->emit(eq_.now(), TraceComp::L1, TraceEvent::MemWrite,
+                         id_, op.addr, line->data[wi]);
         respond(op, old);
         return;
       }
@@ -823,6 +912,10 @@ L1Controller::finishOp(Mshr &mshr, CacheLine *line, const LineData &data)
             line->data[wi] = op.data;
             line->state = CohState::Modified;
             linkValid_ = false;
+            if (!op.spec && TLR_TRACE_ARMED(trace_))
+                trace_->emit(eq_.now(), TraceComp::L1,
+                             TraceEvent::MemWrite, id_, op.addr,
+                             op.data);
             respond(op, 1);
         } else {
             respond(op, 0);
@@ -894,6 +987,10 @@ L1Controller::serviceWaiter(const Waiter &w, Addr line_addr)
     if (!l || !isOwnerState(l->state))
         panic("l1 %d: servicing waiter for line %#llx without owned data",
               id_, static_cast<unsigned long long>(line_addr));
+    if (TLR_TRACE_ARMED(trace_))
+        trace_->emit(eq_.now(), TraceComp::L1, TraceEvent::CohService,
+                     id_, line_addr,
+                     static_cast<std::uint64_t>(w.cpu));
     DataMsg msg;
     msg.line = line_addr;
     msg.data = l->data;
@@ -904,9 +1001,16 @@ L1Controller::serviceWaiter(const Waiter &w, Addr line_addr)
             l->state = CohState::Owned;
         else if (l->state == CohState::Exclusive)
             l->state = CohState::Shared;
+        if (TLR_TRACE_ARMED(trace_))
+            trace_->emit(eq_.now(), TraceComp::L1,
+                         TraceEvent::LineDowngrade, id_, line_addr,
+                         static_cast<std::uint64_t>(l->state));
     } else {
         msg.grant = Grant::ModifiedData;
         clearLinkIf(line_addr);
+        if (TLR_TRACE_ARMED(trace_))
+            trace_->emit(eq_.now(), TraceComp::L1, TraceEvent::LineInval,
+                         id_, line_addr);
         l->invalidate();
         victim_.erase(line_addr);
     }
@@ -940,9 +1044,6 @@ void
 L1Controller::probe(const ProbeMsg &msg)
 {
     Addr la = msg.line;
-    DTRACE(eq_.now(), "L1", "cpu%d probe line=%#llx %s from=%d spec=%d",
-           id_, static_cast<unsigned long long>(la), msg.ts.str().c_str(),
-           msg.from, hooks_.specActive() ? 1 : 0);
 
     // Case 1: we hold the line inside our transaction — either
     // already deferring requests for it, or the probe raced ahead of
@@ -967,6 +1068,13 @@ L1Controller::probe(const ProbeMsg &msg)
                     probeHints_[la] = msg.ts;
                 maybeArmYield();
                 return;
+            }
+            if (TLR_TRACE_ARMED(trace_)) {
+                const Timestamp own = hooks_.currentTs();
+                trace_->emit(eq_.now(), TraceComp::L1,
+                             TraceEvent::CohLose, id_, la, msg.ts.clock,
+                             packTsMeta(msg.ts), own.clock,
+                             packTsMeta(own));
             }
             hooks_.conflictAbort(la, AbortReason::ProbeLost);
         }
@@ -997,6 +1105,13 @@ L1Controller::probe(const ProbeMsg &msg)
                 maybeArmYield();
                 return;
             }
+            if (TLR_TRACE_ARMED(trace_)) {
+                const Timestamp own = hooks_.currentTs();
+                trace_->emit(eq_.now(), TraceComp::L1,
+                             TraceEvent::CohLose, id_, la, msg.ts.clock,
+                             packTsMeta(msg.ts), own.clock,
+                             packTsMeta(own));
+            }
             m.loseOnArrival = true;
             hooks_.conflictAbort(la, AbortReason::ProbeLost);
         }
@@ -1018,8 +1133,13 @@ L1Controller::commitTransaction(const WriteBuffer &wb)
             panic("l1 %d: commit without writable line %#llx", id_,
                   static_cast<unsigned long long>(la));
         for (unsigned w = 0; w < wordsPerLine; ++w)
-            if (entry.mask & (1u << w))
+            if (entry.mask & (1u << w)) {
                 l->data[w] = entry.words[w];
+                if (TLR_TRACE_ARMED(trace_))
+                    trace_->emit(eq_.now(), TraceComp::L1,
+                                 TraceEvent::TxnWrite, id_, la + 8 * w,
+                                 entry.words[w]);
+            }
         l->state = CohState::Modified;
     }
     array_.forEachValid([](CacheLine &l) { l.clearAccess(); });
@@ -1047,6 +1167,9 @@ L1Controller::abortTransaction()
 void
 L1Controller::serviceDeferredQueue()
 {
+    if (!deferred_.empty() && TLR_TRACE_ARMED(trace_))
+        trace_->emit(eq_.now(), TraceComp::L1, TraceEvent::CohDeferDrain,
+                     id_, 0, deferred_.size());
     while (!deferred_.empty()) {
         DeferredReq d = deferred_.front();
         deferred_.pop_front();

@@ -33,6 +33,7 @@
 #include "mem/write_buffer.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
+#include "trace/sink.hh"
 
 namespace tlr
 {
@@ -60,6 +61,8 @@ class L1Controller : public Snooper
   public:
     L1Controller(EventQueue &eq, StatSet &stats, CpuId id, L1Params params,
                  Interconnect &net, MemoryController &mem, SpecHooks &hooks);
+
+    void setTrace(TraceSink *sink) { trace_ = sink; }
 
     /** @{ Engine-facing request interface. */
     void access(const CacheOp &op);
@@ -185,6 +188,7 @@ class L1Controller : public Snooper
     Interconnect &net_;
     MemoryController &mem_;
     SpecHooks &hooks_;
+    TraceSink *trace_ = nullptr;
 
     CacheArray array_;
     VictimCache victim_;

@@ -187,6 +187,7 @@ SpecEngine::tryElide(const CoreMemOp &op)
 
     checkpoint_ = core_->takeCheckpoint();
     regionPc_ = op.pc;
+    const bool newInstance = !instanceActive_;
     if (!instanceActive_) {
         // A new critical-section instance (not a restart): reset the
         // SLE retry budget and, under TLR, fix the timestamp, which is
@@ -218,6 +219,9 @@ SpecEngine::tryElide(const CoreMemOp &op)
                 tsHeld_ = false;
                 ++clock_;
             }
+            if (TLR_TRACE_ARMED(trace_))
+                trace_->emit(eq_.now(), TraceComp::Spec,
+                             TraceEvent::TxnQuantumEnd, id_, 0);
         });
     }
     mode_ = Mode::Spec;
@@ -225,6 +229,12 @@ SpecEngine::tryElide(const CoreMemOp &op)
     stack_.push_back({op.addr, lastLl_.value, op.data, op.pc});
     l1_->markTransactionalRead(op.addr);
     ++elisions_;
+    if (TLR_TRACE_ARMED(trace_)) {
+        const Timestamp ts = currentTs();
+        trace_->emit(eq_.now(), TraceComp::Spec, TraceEvent::TxnElide,
+                     id_, op.addr, lastLl_.value, ts.clock,
+                     packTsMeta(ts), newInstance ? 1 : 0);
+    }
     respondCore(1, 1);
     return true;
 }
@@ -252,6 +262,10 @@ SpecEngine::handleSpecStore(const CoreMemOp &op)
             stack_.push_back({op.addr, lastLl_.value, op.data, op.pc});
             l1_->markTransactionalRead(op.addr);
             ++elisions_;
+            if (TLR_TRACE_ARMED(trace_))
+                trace_->emit(eq_.now(), TraceComp::Spec,
+                             TraceEvent::TxnNest, id_, op.addr,
+                             lastLl_.value);
             respondCore(1, 1);
             return;
         }
@@ -282,6 +296,10 @@ SpecEngine::tryFinishCommit()
 {
     if (!committing_ || l1_->outstandingSpecMisses() > 0)
         return;
+    const size_t commitLines = wb_.lineCount();
+    if (TLR_TRACE_ARMED(trace_))
+        trace_->emit(eq_.now(), TraceComp::Spec,
+                     TraceEvent::TxnCommitStart, id_, 0, commitLines);
     l1_->commitTransaction(wb_);
     wb_.clear();
     mode_ = Mode::Inactive;
@@ -296,6 +314,9 @@ SpecEngine::tryFinishCommit()
     pairPred_.reward(regionPc_);
     escalation_.clear();
     ++commits_;
+    if (TLR_TRACE_ARMED(trace_))
+        trace_->emit(eq_.now(), TraceComp::Spec, TraceEvent::TxnCommit,
+                     id_, 0, commitLines, clock_);
     respondCore(0, 1); // the elided release store completes
 }
 
@@ -305,8 +326,6 @@ SpecEngine::doAbort(AbortReason reason, bool resource)
     if (mode_ != Mode::Spec)
         panic("engine %d: abort outside speculation (%s)", id_,
               abortReasonName(reason));
-    DTRACE(eq_.now(), "Spec", "cpu%d ABORT %s resource=%d", id_,
-           abortReasonName(reason), resource ? 1 : 0);
     ++restarts_;
     ++stats_.counter("spec" + std::to_string(id_),
                      std::string("abort.") + abortReasonName(reason));
@@ -359,6 +378,10 @@ SpecEngine::doAbort(AbortReason reason, bool resource)
     }
     // Under TLR the timestamp is retained and reused so the thread
     // keeps its position in the priority order (paper Section 4).
+    if (TLR_TRACE_ARMED(trace_))
+        trace_->emit(eq_.now(), TraceComp::Spec, TraceEvent::TxnRestart,
+                     id_, 0, static_cast<std::uint64_t>(reason),
+                     resource ? 1 : 0, instanceActive_ ? 0 : 1);
     core_->restoreCheckpoint(checkpoint_);
 }
 

@@ -40,6 +40,7 @@
 #include "mem/write_buffer.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
+#include "trace/sink.hh"
 
 namespace tlr
 {
@@ -75,6 +76,7 @@ class SpecEngine : public MemPort, public SpecHooks
 
     void setCore(Core *core) { core_ = core; }
     void setL1(L1Controller *l1) { l1_ = l1; }
+    void setTrace(TraceSink *sink) { trace_ = sink; }
 
     /** @{ MemPort (core-facing). */
     void request(const CoreMemOp &op) override;
@@ -150,6 +152,7 @@ class SpecEngine : public MemPort, public SpecHooks
     SpecConfig cfg_;
     Core *core_ = nullptr;
     L1Controller *l1_ = nullptr;
+    TraceSink *trace_ = nullptr;
 
     Mode mode_ = Mode::Inactive;
     std::vector<Elision> stack_;

@@ -32,6 +32,8 @@ runWorkload(const MachineParams &mp, const Workload &wl)
     r.lockCycles = s.sum("core", "lockCycles");
     r.dataStallCycles = s.sum("core", "dataStallCycles");
     r.busyCycles = s.sum("core", "busyCycles");
+    r.traceRecords = sys.traceSink().emitted();
+    r.invariantViolations = s.get("trace", "violations");
     return r;
 }
 

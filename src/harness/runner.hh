@@ -35,6 +35,11 @@ struct RunStats
     std::uint64_t l1Misses = 0;
     std::uint64_t writeBufferAborts = 0;
 
+    /** @{ observability (populated when tracing/checking enabled) */
+    std::uint64_t traceRecords = 0;        ///< events emitted by the sink
+    std::uint64_t invariantViolations = 0; ///< checker hits (keep-going)
+    /** @} */
+
     /** Per-cpu time integrals for the Figure 11 breakdown. */
     std::uint64_t lockCycles = 0;     ///< stalls on lock variables
     std::uint64_t dataStallCycles = 0;

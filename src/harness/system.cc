@@ -25,6 +25,14 @@ System::System(const MachineParams &params)
       mem_(eq_, stats_, *net_, store_, params.mem)
 {
     net_->setMemory(&mem_);
+    trace_.configure(params.trace.ringCapacity, params.trace.echoText);
+    if (params.trace.checkInvariants) {
+        checkers_ = std::make_unique<InvariantRegistry>(
+            stats_, &trace_, params.trace, params.spec.deferUntimestamped,
+            params.l1.yieldTimeout);
+        trace_.addListener(checkers_.get());
+    }
+    net_->setTrace(&trace_);
     Rng root(params.seed);
     for (int i = 0; i < params.numCpus; ++i) {
         engines_.push_back(std::make_unique<SpecEngine>(
@@ -35,6 +43,8 @@ System::System(const MachineParams &params)
             eq_, stats_, i, root.fork(static_cast<std::uint64_t>(i) + 1)));
         engines_.back()->setCore(cores_.back().get());
         engines_.back()->setL1(l1s_.back().get());
+        engines_.back()->setTrace(&trace_);
+        l1s_.back()->setTrace(&trace_);
         cores_.back()->setPort(engines_.back().get());
         net_->addSnooper(l1s_.back().get());
         cores_.back()->setHaltHook([this](CpuId) {
@@ -74,6 +84,7 @@ System::run()
     for (auto &c : cores_)
         c->start(0);
     bool drained = eq_.run(params_.maxTicks);
+    trace_.finish(eq_.now());
     if (haltedCount_ == params_.numCpus)
         return true;
     if (drained) {

@@ -21,6 +21,8 @@
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
+#include "trace/checkers.hh"
+#include "trace/sink.hh"
 
 namespace tlr
 {
@@ -42,6 +44,7 @@ struct MachineParams
     MemParams mem;
     std::uint64_t l2Lines = (4ull << 20) / lineBytes; ///< 4 MB shared L2
     SpecConfig spec;
+    TraceParams trace;
     std::uint64_t seed = 12345;
     Tick maxTicks = 2'000'000'000ull; ///< watchdog for livelock studies
 };
@@ -62,6 +65,11 @@ class System
     Interconnect &interconnect() { return *net_; }
     EventQueue &eventQueue() { return eq_; }
     StatSet &stats() { return stats_; }
+    TraceSink &traceSink() { return trace_; }
+
+    /** Attach an event-stream consumer (lifecycle tracker, custom
+     *  checker). The sink arms itself on first listener. */
+    void addTraceListener(TraceListener *l) { trace_.addListener(l); }
 
     void setProgram(int cpu, ProgramPtr prog);
     void setLockClassifier(std::function<bool(Addr)> f);
@@ -88,6 +96,8 @@ class System
     EventQueue eq_;
     StatSet stats_;
     BackingStore store_;
+    TraceSink trace_; ///< before net_/l1s_: they capture its address
+    std::unique_ptr<InvariantRegistry> checkers_;
     std::unique_ptr<Interconnect> net_;
     MemoryController mem_;
     std::vector<std::unique_ptr<SpecEngine>> engines_;

@@ -43,4 +43,22 @@ StatSet::dump(const std::string &prefix) const
     return os.str();
 }
 
+std::string
+StatSet::dumpJson() const
+{
+    // Keys are "group.name" identifiers (no quotes/backslashes), so
+    // plain quoting is sufficient.
+    std::ostringstream os;
+    os << "{\n";
+    bool first = true;
+    for (const auto &[key, val] : vals_) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "  \"" << key << "\": " << val;
+    }
+    os << "\n}\n";
+    return os.str();
+}
+
 } // namespace tlr

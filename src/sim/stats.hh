@@ -36,6 +36,10 @@ class StatSet
     /** Render "key = value" lines, optionally filtered by prefix. */
     std::string dump(const std::string &prefix = "") const;
 
+    /** Render every counter as one flat JSON object, sorted by key
+     *  (tlrsim --stats-json; machine-readable run comparison). */
+    std::string dumpJson() const;
+
     void clear() { vals_.clear(); }
 
   private:

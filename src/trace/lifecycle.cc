@@ -1,0 +1,182 @@
+#include "trace/lifecycle.hh"
+
+#include <algorithm>
+
+#include "coherence/messages.hh"
+#include "coherence/spec_hooks.hh"
+#include "sim/logging.hh"
+
+namespace tlr
+{
+
+void
+TxnLifecycle::closeSpan(CpuId cpu, Tick end, std::string outcome)
+{
+    auto it = open_.find(cpu);
+    if (it == open_.end())
+        return;
+    it->second.end = end;
+    it->second.outcome = std::move(outcome);
+    spans_.push_back(it->second);
+    open_.erase(it);
+}
+
+void
+TxnLifecycle::onRecord(const TraceRecord &r)
+{
+    switch (r.kind) {
+      case TraceEvent::TxnElide: {
+        if (r.a3 != 0) {
+            // New instance. A dangling span here means the previous
+            // instance never reported an outcome; close it defensively.
+            closeSpan(r.cpu, r.tick, "unfinished");
+            Span s;
+            s.cpu = r.cpu;
+            s.begin = r.tick;
+            s.lock = r.addr;
+            Timestamp ts = unpackTs(r.a1, r.a2);
+            s.tsClock = ts.clock;
+            s.tsValid = ts.valid;
+            open_[r.cpu] = s;
+        }
+        // Re-elision after a restart continues the open span.
+        return;
+      }
+      case TraceEvent::TxnNest: {
+        auto it = open_.find(r.cpu);
+        if (it != open_.end())
+            ++it->second.nests;
+        return;
+      }
+      case TraceEvent::TxnRestart: {
+        auto reason = static_cast<AbortReason>(r.a0);
+        if (r.a2 != 0) {
+            closeSpan(r.cpu, r.tick,
+                      std::string("fallback:") + abortReasonName(reason));
+        } else {
+            auto it = open_.find(r.cpu);
+            if (it != open_.end())
+                ++it->second.restarts;
+            instants_.push_back({r.cpu, r.tick, "restart",
+                                 abortReasonName(reason)});
+        }
+        return;
+      }
+      case TraceEvent::TxnCommit:
+        closeSpan(r.cpu, r.tick, "commit");
+        return;
+      case TraceEvent::TxnQuantumEnd:
+        closeSpan(r.cpu, r.tick, "quantum-end");
+        return;
+      case TraceEvent::CohDefer:
+      case TraceEvent::CohRelaxedDefer:
+        instants_.push_back(
+            {r.cpu, r.tick,
+             r.kind == TraceEvent::CohDefer ? "defer" : "relaxed-defer",
+             strfmt("cpu%llu %s line=%#llx",
+                    static_cast<unsigned long long>(r.a0),
+                    reqTypeName(static_cast<ReqType>(r.a1)),
+                    static_cast<unsigned long long>(r.addr))});
+        return;
+      case TraceEvent::CohProbe:
+        instants_.push_back(
+            {r.cpu, r.tick, "probe",
+             strfmt("to cpu%llu line=%#llx",
+                    static_cast<unsigned long long>(r.a0),
+                    static_cast<unsigned long long>(r.addr))});
+        return;
+      case TraceEvent::CohYield:
+        instants_.push_back(
+            {r.cpu, r.tick, "yield",
+             strfmt("line=%#llx",
+                    static_cast<unsigned long long>(r.addr))});
+        return;
+      default:
+        return;
+    }
+}
+
+void
+TxnLifecycle::finish(Tick now)
+{
+    while (!open_.empty())
+        closeSpan(open_.begin()->first, now, "unfinished");
+}
+
+namespace
+{
+
+/** Chrome trace-event colors by outcome (cname is a documented
+ *  trace-viewer field; Perfetto falls back to its own palette). */
+const char *
+outcomeColor(const std::string &outcome)
+{
+    if (outcome == "commit")
+        return "good";
+    if (outcome.rfind("fallback:", 0) == 0)
+        return "terrible";
+    return "bad";
+}
+
+} // namespace
+
+void
+TxnLifecycle::exportChromeTrace(std::ostream &os) const
+{
+    // Durations use "X" complete events; markers use "i" instants.
+    // Ticks (cycles) are written as microseconds so viewers show cycle
+    // counts directly.
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+    };
+
+    std::map<CpuId, bool> rows;
+    for (const Span &s : spans_)
+        rows[s.cpu] = true;
+    for (const Instant &i : instants_)
+        rows[i.cpu] = true;
+    for (const auto &[cpu, unused] : rows) {
+        (void)unused;
+        sep();
+        os << strfmt("{\"ph\":\"M\",\"pid\":0,\"tid\":%d,"
+                     "\"name\":\"thread_name\","
+                     "\"args\":{\"name\":\"cpu %d\"}}",
+                     cpu, cpu);
+    }
+
+    for (const Span &s : spans_) {
+        sep();
+        Tick dur = s.end > s.begin ? s.end - s.begin : 0;
+        os << strfmt(
+            "{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"cat\":\"txn\","
+            "\"name\":\"txn lock=%#llx\",\"ts\":%llu,\"dur\":%llu,"
+            "\"cname\":\"%s\",\"args\":{\"outcome\":\"%s\","
+            "\"restarts\":%u,\"nests\":%u,\"ts_clock\":%llu,"
+            "\"ts_valid\":%s}}",
+            s.cpu, static_cast<unsigned long long>(s.lock),
+            static_cast<unsigned long long>(s.begin),
+            static_cast<unsigned long long>(dur),
+            outcomeColor(s.outcome), s.outcome.c_str(), s.restarts,
+            s.nests, static_cast<unsigned long long>(s.tsClock),
+            s.tsValid ? "true" : "false");
+    }
+
+    for (const Instant &i : instants_) {
+        sep();
+        os << strfmt("{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"s\":\"t\","
+                     "\"cat\":\"coh\",\"name\":\"%s\",\"ts\":%llu,"
+                     "\"args\":{\"detail\":\"%s\"}}",
+                     i.cpu, i.name.c_str(),
+                     static_cast<unsigned long long>(i.tick),
+                     i.detail.c_str());
+    }
+
+    os << "\n]}\n";
+}
+
+} // namespace tlr

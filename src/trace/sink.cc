@@ -1,0 +1,155 @@
+#include "trace/sink.hh"
+
+#include "coherence/messages.hh"
+#include "coherence/spec_hooks.hh"
+#include "mem/line.hh"
+#include "sim/logging.hh"
+
+namespace tlr
+{
+
+const char *
+traceCompName(TraceComp c)
+{
+    switch (c) {
+      case TraceComp::Spec: return "Spec";
+      case TraceComp::L1: return "L1";
+      case TraceComp::Bus: return "Bus";
+      case TraceComp::Dir: return "Dir";
+      case TraceComp::Net: return "Net";
+    }
+    return "?";
+}
+
+const char *
+traceEventName(TraceEvent e)
+{
+    switch (e) {
+      case TraceEvent::TxnElide: return "txn-elide";
+      case TraceEvent::TxnNest: return "txn-nest";
+      case TraceEvent::TxnRestart: return "txn-restart";
+      case TraceEvent::TxnCommitStart: return "txn-commit-start";
+      case TraceEvent::TxnCommit: return "txn-commit";
+      case TraceEvent::TxnQuantumEnd: return "txn-quantum-end";
+      case TraceEvent::TxnRead: return "txn-read";
+      case TraceEvent::TxnWrite: return "txn-write";
+      case TraceEvent::CohMiss: return "miss";
+      case TraceEvent::CohSubmit: return "submit";
+      case TraceEvent::CohOrder: return "order";
+      case TraceEvent::CohDefer: return "defer";
+      case TraceEvent::CohRelaxedDefer: return "relaxed-defer";
+      case TraceEvent::CohLose: return "lose";
+      case TraceEvent::CohYield: return "yield";
+      case TraceEvent::CohService: return "service";
+      case TraceEvent::CohDeferDrain: return "defer-drain";
+      case TraceEvent::CohMarker: return "marker";
+      case TraceEvent::CohProbe: return "probe";
+      case TraceEvent::CohData: return "data";
+      case TraceEvent::LineInstall: return "line-install";
+      case TraceEvent::LineUpgrade: return "line-upgrade";
+      case TraceEvent::LineDowngrade: return "line-downgrade";
+      case TraceEvent::LineInval: return "line-inval";
+      case TraceEvent::MemWrite: return "mem-write";
+    }
+    return "?";
+}
+
+std::string
+formatRecord(const TraceRecord &r)
+{
+    std::string s =
+        strfmt("%10llu: %-4s: cpu%-2d %-16s addr=%#llx",
+               static_cast<unsigned long long>(r.tick),
+               traceCompName(r.comp), r.cpu, traceEventName(r.kind),
+               static_cast<unsigned long long>(r.addr));
+    switch (r.kind) {
+      case TraceEvent::TxnElide:
+      case TraceEvent::TxnNest:
+        s += strfmt(" free=%llu %s new=%llu",
+                    static_cast<unsigned long long>(r.a0),
+                    unpackTs(r.a1, r.a2).str().c_str(),
+                    static_cast<unsigned long long>(r.a3));
+        break;
+      case TraceEvent::TxnRestart:
+        s += strfmt(" reason=%s resource=%llu fallback=%llu",
+                    abortReasonName(static_cast<AbortReason>(r.a0)),
+                    static_cast<unsigned long long>(r.a1),
+                    static_cast<unsigned long long>(r.a2));
+        break;
+      case TraceEvent::TxnCommit:
+        s += strfmt(" lines=%llu clock=%llu",
+                    static_cast<unsigned long long>(r.a0),
+                    static_cast<unsigned long long>(r.a1));
+        break;
+      case TraceEvent::TxnRead:
+      case TraceEvent::TxnWrite:
+      case TraceEvent::MemWrite:
+        s += strfmt(" value=%llu", static_cast<unsigned long long>(r.a0));
+        break;
+      case TraceEvent::CohMiss:
+        s += strfmt(" %s spec=%llu",
+                    reqTypeName(static_cast<ReqType>(r.a0)),
+                    static_cast<unsigned long long>(r.a1));
+        break;
+      case TraceEvent::CohSubmit:
+        s += strfmt(" %s %s", reqTypeName(static_cast<ReqType>(r.a0)),
+                    unpackTs(r.a1, r.a2).str().c_str());
+        break;
+      case TraceEvent::CohOrder:
+        s += strfmt(" %s sn=%llu %s",
+                    reqTypeName(static_cast<ReqType>(r.a0)),
+                    static_cast<unsigned long long>(r.a1),
+                    unpackTs(r.a2, r.a3).str().c_str());
+        break;
+      case TraceEvent::CohDefer:
+      case TraceEvent::CohRelaxedDefer:
+        s += strfmt(" from=%llu %s %s",
+                    static_cast<unsigned long long>(r.a0),
+                    reqTypeName(static_cast<ReqType>(r.a1)),
+                    unpackTs(r.a2, r.a3).str().c_str());
+        break;
+      case TraceEvent::CohLose:
+        s += strfmt(" winner=%s own=%s",
+                    unpackTs(r.a0, r.a1).str().c_str(),
+                    unpackTs(r.a2, r.a3).str().c_str());
+        break;
+      case TraceEvent::CohService:
+      case TraceEvent::CohMarker:
+        s += strfmt(" to=%llu", static_cast<unsigned long long>(r.a0));
+        break;
+      case TraceEvent::CohProbe:
+        s += strfmt(" to=%llu %s",
+                    static_cast<unsigned long long>(r.a0),
+                    unpackTs(r.a1, r.a2).str().c_str());
+        break;
+      case TraceEvent::CohData:
+        s += strfmt(" to=%llu grant=%llu",
+                    static_cast<unsigned long long>(r.a0),
+                    static_cast<unsigned long long>(r.a1));
+        break;
+      case TraceEvent::LineInstall:
+      case TraceEvent::LineDowngrade:
+        s += strfmt(" state=%s",
+                    cohStateName(static_cast<CohState>(r.a0)));
+        break;
+      default:
+        break;
+    }
+    return s;
+}
+
+void
+TraceSink::dumpRecent(std::FILE *out, size_t max_records) const
+{
+    size_t n = ring_.size();
+    size_t skip = n > max_records ? n - max_records : 0;
+    if (n > 0)
+        std::fprintf(out, "---- last %zu trace records ----\n", n - skip);
+    size_t i = 0;
+    ring_.forEach([&](const TraceRecord &r) {
+        if (i++ >= skip)
+            std::fprintf(out, "%s\n", formatRecord(r).c_str());
+    });
+}
+
+} // namespace tlr

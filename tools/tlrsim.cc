@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 
@@ -23,6 +24,7 @@
 #include "harness/scheme.hh"
 #include "harness/system.hh"
 #include "sim/logging.hh"
+#include "trace/lifecycle.hh"
 #include "workloads/apps.hh"
 #include "workloads/micro.hh"
 #include "workloads/extra.hh"
@@ -42,6 +44,10 @@ struct Options
     std::uint64_t ops = 1024;
     std::uint64_t seed = 12345;
     bool trace = false;
+    std::string traceOut;    // Chrome-trace JSON destination
+    bool checkInvariants = false;
+    std::string statsJson;   // JSON counter dump destination
+    size_t ringCapacity = 4096;
     std::string statsPrefix; // empty = no dump; "all" = everything
     Tick maxTicks = 2'000'000'000ull;
     unsigned wbLines = 64;
@@ -70,7 +76,13 @@ usage()
         "  --preempt-quantum=N suspension length in cycles\n"
         "  --max-ticks=N       watchdog horizon\n"
         "  --stats[=PREFIX]    dump counters (optionally filtered)\n"
+        "  --stats-json=FILE   write all counters as JSON\n"
         "  --trace             emit the event trace on stderr\n"
+        "  --trace-out=FILE    write per-transaction lifecycle spans as\n"
+        "                      Chrome-trace JSON (Perfetto-loadable)\n"
+        "  --trace-ring=N      flight-recorder depth in records (4096)\n"
+        "  --check-invariants  run online invariant checkers; panic at\n"
+        "                      the first violating tick\n"
         "  --list              list workloads and exit\n");
 }
 
@@ -190,6 +202,13 @@ main(int argc, char **argv)
             o.maxTicks = std::strtoull(v.c_str(), nullptr, 0);
         else if (parseFlag(a, "--stats", v)) o.statsPrefix = v;
         else if (std::strcmp(a, "--stats") == 0) o.statsPrefix = "all";
+        else if (parseFlag(a, "--stats-json", v)) o.statsJson = v;
+        else if (parseFlag(a, "--trace-out", v)) o.traceOut = v;
+        else if (parseFlag(a, "--trace-ring", v))
+            o.ringCapacity =
+                static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 0));
+        else if (std::strcmp(a, "--check-invariants") == 0)
+            o.checkInvariants = true;
         else if (std::strcmp(a, "--trace") == 0) o.trace = true;
         else if (std::strcmp(a, "--list") == 0) o.listWorkloads = true;
         else if (std::strcmp(a, "--help") == 0 ||
@@ -224,7 +243,16 @@ main(int argc, char **argv)
     mp.seed = o.seed;
     mp.maxTicks = o.maxTicks;
 
+    const bool wantTrace = o.trace || !o.traceOut.empty() ||
+                           o.checkInvariants;
+    mp.trace.ringCapacity = wantTrace ? o.ringCapacity : 0;
+    mp.trace.echoText = o.trace;
+    mp.trace.checkInvariants = o.checkInvariants;
+
     System sys(mp);
+    TxnLifecycle lifecycle;
+    if (!o.traceOut.empty())
+        sys.addTraceListener(&lifecycle);
     Workload wl = buildWorkload(o, schemeLockKind(scheme));
     installWorkload(sys, wl);
     if (o.preemptEvery > 0) {
@@ -262,10 +290,32 @@ main(int argc, char **argv)
                     s.get("net", "probeMsgs")),
                 static_cast<unsigned long long>(
                     s.get("bus", "transactions")));
+    if (o.checkInvariants)
+        std::printf("invariantViolations=%llu (traceRecords=%llu)\n",
+                    static_cast<unsigned long long>(
+                        s.get("trace", "violations")),
+                    static_cast<unsigned long long>(
+                        sys.traceSink().emitted()));
     if (!o.statsPrefix.empty()) {
         std::printf("%s",
                     s.dump(o.statsPrefix == "all" ? "" : o.statsPrefix)
                         .c_str());
+    }
+    if (!o.traceOut.empty()) {
+        std::ofstream out(o.traceOut);
+        if (!out)
+            fatal("cannot write trace file '%s'", o.traceOut.c_str());
+        lifecycle.exportChromeTrace(out);
+        std::fprintf(stderr,
+                     "wrote %zu transaction spans, %zu instants to %s\n",
+                     lifecycle.spans().size(),
+                     lifecycle.instants().size(), o.traceOut.c_str());
+    }
+    if (!o.statsJson.empty()) {
+        std::ofstream out(o.statsJson);
+        if (!out)
+            fatal("cannot write stats file '%s'", o.statsJson.c_str());
+        out << s.dumpJson();
     }
     if (!completed)
         return 3;
