@@ -4,6 +4,13 @@
  * bench binary registers one google-benchmark per (scheme, x-value)
  * configuration, caches the simulation result, and prints the
  * paper-style table after the benchmark run.
+ *
+ * All registered simulations also land in a registry so `--jobs=N`
+ * can pre-run the whole grid on a host thread pool (harness/sweep.hh)
+ * before google-benchmark replays the (now cached) configurations.
+ * The result cache is mutex-guarded: concurrent sweep workers insert
+ * results, and std::map guarantees the references handed out stay
+ * stable.
  */
 
 #ifndef TLR_BENCH_COMMON_HH
@@ -11,12 +18,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "harness/table.hh"
 
 namespace tlrbench
@@ -25,7 +37,17 @@ namespace tlrbench
 using tlr::RunStats;
 using tlr::Scheme;
 
-/** Cache of simulation results keyed by an arbitrary config string. */
+/** Guards results(); hold it for every cache access. */
+inline std::mutex &
+resultsMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+/** Cache of simulation results keyed by an arbitrary config string.
+ *  Access under resultsMutex() while simulations may be running;
+ *  table printers run after the sweep and may read freely. */
 inline std::map<std::string, RunStats> &
 results()
 {
@@ -33,14 +55,30 @@ results()
     return r;
 }
 
-/** Run-once-and-cache wrapper. */
+/** Run-once-and-cache wrapper, safe under the parallel sweep. The
+ *  simulation itself runs outside the lock; on a duplicate-key race
+ *  the first inserted result wins (both are identical anyway — runs
+ *  are deterministic functions of the config). */
 inline const RunStats &
 cachedRun(const std::string &key, const std::function<RunStats()> &fn)
 {
-    auto it = results().find(key);
-    if (it == results().end())
-        it = results().emplace(key, fn()).first;
-    return it->second;
+    {
+        std::lock_guard<std::mutex> g(resultsMutex());
+        auto it = results().find(key);
+        if (it != results().end())
+            return it->second;
+    }
+    RunStats r = fn();
+    std::lock_guard<std::mutex> g(resultsMutex());
+    return results().emplace(key, std::move(r)).first->second;
+}
+
+/** Every simulation registered by this binary, for --jobs prewarming. */
+inline std::vector<std::pair<std::string, std::function<RunStats()>>> &
+simRegistry()
+{
+    static std::vector<std::pair<std::string, std::function<RunStats()>>> r;
+    return r;
 }
 
 /** Register a benchmark that performs (or reuses) one simulation and
@@ -48,6 +86,7 @@ cachedRun(const std::string &key, const std::function<RunStats()> &fn)
 inline void
 registerSim(const std::string &name, std::function<RunStats()> fn)
 {
+    simRegistry().emplace_back(name, fn);
     benchmark::RegisterBenchmark(
         name.c_str(),
         [name, fn](benchmark::State &state) {
@@ -81,13 +120,111 @@ procCounts()
     return {2, 4, 6, 8, 10, 12, 14, 16};
 }
 
-/** Standard driver: init benchmark lib, register, run, print table. */
+/** Canonical cache key for a (figure, scheme, cpu-count) cell. */
+inline std::string
+gridKey(const std::string &prefix, Scheme s, int procs)
+{
+    return prefix + tlr::schemeName(s) + "/p" + std::to_string(procs);
+}
+
+/** Register the full scheme × processor-count grid of one figure. */
+inline void
+registerSchemeGrid(const std::string &prefix,
+                   const std::vector<Scheme> &schemes,
+                   const std::vector<int> &procs,
+                   const std::function<RunStats(Scheme, int)> &runOne)
+{
+    for (Scheme s : schemes)
+        for (int n : procs)
+            registerSim(gridKey(prefix, s, n),
+                        [s, n, runOne] { return runOne(s, n); });
+}
+
+/** Optional extra per-row column for printSchemeGrid. */
+struct GridExtraCol
+{
+    std::string header;
+    std::function<std::string(int procs)> value;
+};
+
+/**
+ * Print the standard figure table: one row per processor count, one
+ * "cycles (INVALID?)" column per scheme, plus any extra columns.
+ * Shared by fig08/fig09/fig10 (satellite: the per-figure printers
+ * used to copy this loop verbatim).
+ */
+inline void
+printSchemeGrid(const std::string &title, const std::string &prefix,
+                const std::vector<Scheme> &schemes,
+                const std::vector<int> &procs, const std::string &footer,
+                const std::vector<GridExtraCol> &extras = {})
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    std::vector<std::string> head{"procs"};
+    for (Scheme s : schemes)
+        head.push_back(tlr::schemeName(s));
+    for (const GridExtraCol &c : extras)
+        head.push_back(c.header);
+    tlr::Table t(head);
+    for (int n : procs) {
+        std::vector<std::string> row{std::to_string(n)};
+        for (Scheme s : schemes) {
+            const RunStats &r = results().at(gridKey(prefix, s, n));
+            row.push_back(tlr::Table::num(r.cycles) +
+                          (r.valid ? "" : " INVALID"));
+        }
+        for (const GridExtraCol &c : extras)
+            row.push_back(c.value(n));
+        t.addRow(row);
+    }
+    std::printf("%s", t.str().c_str());
+    if (!footer.empty())
+        std::printf("%s\n", footer.c_str());
+}
+
+/** Pre-run every registered simulation on @p jobs host threads. */
+inline void
+prewarmRegistry(unsigned jobs)
+{
+    std::vector<tlr::SweepTask> tasks;
+    tasks.reserve(simRegistry().size());
+    for (const auto &[name, fn] : simRegistry()) {
+        const std::string &key = name;
+        const std::function<RunStats()> &f = fn;
+        tasks.push_back(
+            {key, [key, f] { return cachedRun(key, f); }});
+    }
+    tlr::runSweep(tasks, jobs);
+}
+
+/**
+ * Standard driver: init benchmark lib, register, run, print table.
+ *
+ * Accepts `--jobs=N` ahead of the google-benchmark flags: N > 1
+ * pre-runs the whole simulation grid on N host threads, so the
+ * subsequent benchmark pass replays cached results and total
+ * wall-clock drops by roughly the core count. N = 0 means hardware
+ * concurrency. Default (1) keeps the serial timing behavior.
+ */
 inline int
 benchMain(int argc, char **argv, const std::function<void()> &register_fn,
           const std::function<void()> &print_fn)
 {
+    unsigned jobs = 1;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+            long v = std::atol(argv[i] + 7);
+            jobs = v >= 0 ? static_cast<unsigned>(v) : 1;
+            continue; // strip: google-benchmark rejects unknown flags
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
     benchmark::Initialize(&argc, argv);
     register_fn();
+    if (jobs != 1)
+        prewarmRegistry(jobs);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     print_fn();

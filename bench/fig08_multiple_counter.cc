@@ -39,37 +39,18 @@ runOne(Scheme s, int cpus)
 void
 registerAll()
 {
-    for (Scheme s : microSchemes())
-        for (int n : procCounts())
-            registerSim(std::string("fig08/") + schemeName(s) + "/p" +
-                            std::to_string(n),
-                        [s, n] { return runOne(s, n); });
+    registerSchemeGrid("fig08/", microSchemes(), procCounts(), runOne);
 }
 
 void
 printTable()
 {
-    std::printf("\n=== Figure 8: multiple-counter "
-                "(coarse-grain / no conflicts), %llu total ops ===\n",
-                static_cast<unsigned long long>(totalOps()));
-    std::vector<std::string> head{"procs"};
-    for (Scheme s : microSchemes())
-        head.push_back(schemeName(s));
-    Table t(head);
-    for (int n : procCounts()) {
-        std::vector<std::string> row{std::to_string(n)};
-        for (Scheme s : microSchemes()) {
-            const RunStats &r = results().at(
-                std::string("fig08/") + schemeName(s) + "/p" +
-                std::to_string(n));
-            row.push_back(Table::num(r.cycles) +
-                          (r.valid ? "" : " INVALID"));
-        }
-        t.addRow(row);
-    }
-    std::printf("%s", t.str().c_str());
-    std::printf("(execution cycles; lower is better; total work "
-                "constant across processor counts)\n");
+    printSchemeGrid("Figure 8: multiple-counter "
+                    "(coarse-grain / no conflicts), " +
+                        std::to_string(totalOps()) + " total ops",
+                    "fig08/", microSchemes(), procCounts(),
+                    "(execution cycles; lower is better; total work "
+                    "constant across processor counts)");
 }
 
 } // namespace

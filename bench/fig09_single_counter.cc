@@ -48,42 +48,25 @@ runOne(Scheme s, int cpus)
 void
 registerAll()
 {
-    for (Scheme s : schemes())
-        for (int n : procCounts())
-            registerSim(std::string("fig09/") + schemeName(s) + "/p" +
-                            std::to_string(n),
-                        [s, n] { return runOne(s, n); });
+    registerSchemeGrid("fig09/", schemes(), procCounts(), runOne);
 }
 
 void
 printTable()
 {
-    std::printf("\n=== Figure 9: single-counter "
-                "(fine-grain / high conflict), %llu total ops ===\n",
-                static_cast<unsigned long long>(totalOps()));
-    std::vector<std::string> head{"procs"};
-    for (Scheme s : schemes())
-        head.push_back(schemeName(s));
-    head.push_back("TLR restarts");
-    Table t(head);
-    for (int n : procCounts()) {
-        std::vector<std::string> row{std::to_string(n)};
-        for (Scheme s : schemes()) {
-            const RunStats &r = results().at(
-                std::string("fig09/") + schemeName(s) + "/p" +
-                std::to_string(n));
-            row.push_back(Table::num(r.cycles) +
-                          (r.valid ? "" : " INVALID"));
-        }
-        const RunStats &tlr = results().at(
-            std::string("fig09/") + schemeName(Scheme::BaseSleTlr) +
-            "/p" + std::to_string(n));
-        row.push_back(Table::num(tlr.restarts));
-        t.addRow(row);
-    }
-    std::printf("%s", t.str().c_str());
-    std::printf("(execution cycles; TLR should be nearly flat with "
-                "~zero restarts: ideal hardware queue behavior)\n");
+    GridExtraCol restarts{
+        "TLR restarts", [](int n) {
+            const RunStats &tlr = results().at(
+                gridKey("fig09/", Scheme::BaseSleTlr, n));
+            return Table::num(tlr.restarts);
+        }};
+    printSchemeGrid("Figure 9: single-counter "
+                    "(fine-grain / high conflict), " +
+                        std::to_string(totalOps()) + " total ops",
+                    "fig09/", schemes(), procCounts(),
+                    "(execution cycles; TLR should be nearly flat with "
+                    "~zero restarts: ideal hardware queue behavior)",
+                    {restarts});
 }
 
 } // namespace

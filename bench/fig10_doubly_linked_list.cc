@@ -40,38 +40,18 @@ runOne(Scheme s, int cpus)
 void
 registerAll()
 {
-    for (Scheme s : microSchemes())
-        for (int n : procCounts())
-            registerSim(std::string("fig10/") + schemeName(s) + "/p" +
-                            std::to_string(n),
-                        [s, n] { return runOne(s, n); });
+    registerSchemeGrid("fig10/", microSchemes(), procCounts(), runOne);
 }
 
 void
 printTable()
 {
-    std::printf("\n=== Figure 10: doubly-linked list "
-                "(fine-grain / dynamic conflicts), %llu enq+deq pairs "
-                "===\n",
-                static_cast<unsigned long long>(totalOps()));
-    std::vector<std::string> head{"procs"};
-    for (Scheme s : microSchemes())
-        head.push_back(schemeName(s));
-    Table t(head);
-    for (int n : procCounts()) {
-        std::vector<std::string> row{std::to_string(n)};
-        for (Scheme s : microSchemes()) {
-            const RunStats &r = results().at(
-                std::string("fig10/") + schemeName(s) + "/p" +
-                std::to_string(n));
-            row.push_back(Table::num(r.cycles) +
-                          (r.valid ? "" : " INVALID"));
-        }
-        t.addRow(row);
-    }
-    std::printf("%s", t.str().c_str());
-    std::printf("(execution cycles; TLR exploits head/tail "
-                "concurrency the lock hides)\n");
+    printSchemeGrid("Figure 10: doubly-linked list "
+                    "(fine-grain / dynamic conflicts), " +
+                        std::to_string(totalOps()) + " enq+deq pairs",
+                    "fig10/", microSchemes(), procCounts(),
+                    "(execution cycles; TLR exploits head/tail "
+                    "concurrency the lock hides)");
 }
 
 } // namespace

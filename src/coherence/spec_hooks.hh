@@ -40,6 +40,10 @@ enum class AbortReason
                          ///< scheduling quantum)
 };
 
+/** Number of AbortReason values (for per-reason counter arrays). */
+constexpr int numAbortReasons =
+    static_cast<int>(AbortReason::QuantumExpired) + 1;
+
 const char *abortReasonName(AbortReason r);
 
 /** Operations the speculation engine issues to the L1 controller. */

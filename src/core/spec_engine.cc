@@ -327,8 +327,13 @@ SpecEngine::doAbort(AbortReason reason, bool resource)
         panic("engine %d: abort outside speculation (%s)", id_,
               abortReasonName(reason));
     ++restarts_;
-    ++stats_.counter("spec" + std::to_string(id_),
-                     std::string("abort.") + abortReasonName(reason));
+    std::uint64_t *&abortCtr =
+        abortCounters_[static_cast<std::size_t>(reason)];
+    if (!abortCtr)
+        abortCtr = &stats_.counter("spec" + std::to_string(id_),
+                                   std::string("abort.") +
+                                       abortReasonName(reason));
+    ++*abortCtr;
     wb_.clear();
     stack_.clear();
     committing_ = false;

@@ -26,6 +26,7 @@
 #ifndef TLR_CORE_SPEC_ENGINE_HH
 #define TLR_CORE_SPEC_ENGINE_HH
 
+#include <array>
 #include <optional>
 #include <set>
 #include <string>
@@ -205,6 +206,11 @@ class SpecEngine : public MemPort, public SpecHooks
     std::uint64_t &restarts_;
     std::uint64_t &fallbacks_;
     std::uint64_t &exclEscalations_;
+    /** Per-reason abort counters, resolved from the StatSet on first
+     *  use so the abort path never builds a string key. Lazy (rather
+     *  than eager at construction) so a run's stat dump still lists
+     *  only the abort reasons that actually occurred. */
+    std::array<std::uint64_t *, numAbortReasons> abortCounters_{};
     /** @} */
 };
 

@@ -237,7 +237,10 @@ Core::suspend(Tick duration)
     }
     ++gen_; // squash in-flight waits and pending ticks
     state_ = State::Idle;
-    stats_.counter("core" + std::to_string(id_), "preemptions") += 1;
+    if (!preemptions_)
+        preemptions_ =
+            &stats_.counter("core" + std::to_string(id_), "preemptions");
+    ++*preemptions_;
     eq_.scheduleIn(duration, [this, myGen = gen_] {
         if (myGen != gen_ || state_ != State::Idle)
             return;

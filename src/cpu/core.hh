@@ -108,6 +108,10 @@ class Core
     /** Wait-generation: bumped on every restart/squash so in-flight
      *  responses from a squashed wait are discarded. */
     std::uint64_t gen_ = 0;
+
+    /** Lazily resolved preemption counter (stable StatSet reference;
+     *  avoids a string-keyed lookup per preemption). */
+    std::uint64_t *preemptions_ = nullptr;
     /** Deferred suspension: a preemption that lands while a
      *  non-replayable memory operation is in flight takes effect at
      *  its completion (instruction boundary). */

@@ -34,6 +34,7 @@ runWorkload(const MachineParams &mp, const Workload &wl)
     r.busyCycles = s.sum("core", "busyCycles");
     r.traceRecords = sys.traceSink().emitted();
     r.invariantViolations = s.get("trace", "violations");
+    r.kernelEvents = sys.eventQueue().executed();
     return r;
 }
 

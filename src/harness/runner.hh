@@ -40,6 +40,10 @@ struct RunStats
     std::uint64_t invariantViolations = 0; ///< checker hits (keep-going)
     /** @} */
 
+    /** Host-side: kernel events the run executed (events/sec metric;
+     *  a function of the config only, so still deterministic). */
+    std::uint64_t kernelEvents = 0;
+
     /** Per-cpu time integrals for the Figure 11 breakdown. */
     std::uint64_t lockCycles = 0;     ///< stalls on lock variables
     std::uint64_t dataStallCycles = 0;

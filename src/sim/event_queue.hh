@@ -6,14 +6,27 @@
  * schedule one-shot callbacks at absolute ticks. Ordering is fully
  * deterministic: events at the same tick fire in (priority, insertion
  * sequence) order, so simulations are exactly reproducible.
+ *
+ * Hot-path design (DESIGN.md §8): events live in pooled, fixed-size
+ * nodes with inline small-buffer storage for the callable — the
+ * capture sizes used by the core, speculation engine, L1 controllers,
+ * interconnect and directory all fit inline, so steady-state
+ * scheduling performs no heap allocation. Dispatch is a timing wheel
+ * over the near future (latencies in the simulated machine are a few
+ * tens of cycles) backed by a binary heap for far-out events
+ * (yield timeouts, preemptions, watchdogs).
  */
 
 #ifndef TLR_SIM_EVENT_QUEUE_HH
 #define TLR_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
@@ -35,34 +48,93 @@ enum class EventPrio : int
 /**
  * The global discrete-event queue.
  *
- * Events are one-shot std::function callbacks. Cancellation is not
- * supported; components that might become stale check their own state
- * when the callback fires (the usual "squash by generation" idiom).
+ * Events are one-shot callables. Cancellation is not supported;
+ * components that might become stale check their own state when the
+ * callback fires (the usual "squash by generation" idiom).
  */
 class EventQueue
 {
   public:
+    /** Compatibility alias; any callable (lambda included) schedules
+     *  directly without wrapping into a std::function. */
     using Callback = std::function<void()>;
+
+    /** Inline capture capacity per event node. Sized for the largest
+     *  common capture (Interconnect::sendData's [this, to, DataMsg] at
+     *  ~104 bytes with a 64-byte line payload). Larger captures spill
+     *  to the heap and are counted in kernelStats(). */
+    static constexpr std::size_t inlineCaptureBytes = 112;
+
+    /** Near-future horizon of the timing wheel, in ticks. */
+    static constexpr std::size_t wheelSlots = 512;
+
+    /** Host-side kernel counters (bench_kernel; not simulated state). */
+    struct KernelStats
+    {
+        std::uint64_t inlineEvents = 0;  ///< captures stored in-node
+        std::uint64_t spilledEvents = 0; ///< captures heap-allocated
+        std::uint64_t poolChunks = 0;    ///< node-chunk allocations
+        std::uint64_t wheelEvents = 0;   ///< scheduled into the wheel
+        std::uint64_t farEvents = 0;     ///< scheduled into the heap
+    };
+
+    EventQueue();
+    ~EventQueue();
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
 
     /** Current simulated time. */
     Tick now() const { return _now; }
 
-    /** Schedule @p cb at absolute tick @p when (must be >= now()). */
-    void schedule(Tick when, Callback cb,
-                  EventPrio prio = EventPrio::Default);
-
-    /** Schedule @p cb @p delta ticks in the future. */
+    /** Schedule callable @p f at absolute tick @p when (>= now()). */
+    template <typename F>
     void
-    scheduleIn(Tick delta, Callback cb, EventPrio prio = EventPrio::Default)
+    schedule(Tick when, F &&f, EventPrio prio = EventPrio::Default)
     {
-        schedule(_now + delta, std::move(cb), prio);
+        EventNode *n = makeNode(when, prio);
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(n->storage)) Fn(std::forward<F>(f));
+            n->invoke = [](EventNode &e) {
+                (*std::launder(reinterpret_cast<Fn *>(e.storage)))();
+            };
+            if constexpr (std::is_trivially_destructible_v<Fn>) {
+                n->destroy = nullptr;
+            } else {
+                n->destroy = [](EventNode &e) {
+                    std::launder(reinterpret_cast<Fn *>(e.storage))->~Fn();
+                };
+            }
+            ++kstats_.inlineEvents;
+        } else {
+            // Capture too large for the node: spill to the heap and
+            // keep only the pointer inline.
+            Fn *p = new Fn(std::forward<F>(f));
+            ::new (static_cast<void *>(n->storage)) (Fn *)(p);
+            n->invoke = [](EventNode &e) {
+                (**std::launder(reinterpret_cast<Fn **>(e.storage)))();
+            };
+            n->destroy = [](EventNode &e) {
+                delete *std::launder(reinterpret_cast<Fn **>(e.storage));
+            };
+            ++kstats_.spilledEvents;
+        }
+        insert(n);
+    }
+
+    /** Schedule @p f @p delta ticks in the future. */
+    template <typename F>
+    void
+    scheduleIn(Tick delta, F &&f, EventPrio prio = EventPrio::Default)
+    {
+        schedule(_now + delta, std::forward<F>(f), prio);
     }
 
     /** True when no events remain. */
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return size_ == 0; }
 
     /** Number of pending events. */
-    size_t pending() const { return heap_.size(); }
+    size_t pending() const { return size_; }
 
     /** Total events executed so far. */
     std::uint64_t executed() const { return executed_; }
@@ -81,35 +153,101 @@ class EventQueue
     /** Request run() to return after the current event completes. */
     void requestStop() { stopRequested_ = true; }
 
-    /** Reset time and drop all pending events (test support). */
+    /** Reset time, drop all pending events, and return every node to
+     *  the pool; executed()/stop state start clean (test support). */
     void reset();
 
+    /** Host-performance counters since construction (reset() keeps
+     *  them: they describe the process, not one simulation). */
+    const KernelStats &kernelStats() const { return kstats_; }
+
   private:
-    struct Item
+    static constexpr int numPrios = 6;
+    static_assert(static_cast<int>(EventPrio::Stats) == numPrios - 1,
+                  "EventPrio values must stay dense: the wheel keeps "
+                  "one FIFO list per priority");
+    static_assert((wheelSlots & (wheelSlots - 1)) == 0,
+                  "wheelSlots must be a power of two");
+
+    /** Pooled event node. `storage` inlines the callable (or, when
+     *  spilled, a single pointer to it). Nodes never move once
+     *  allocated, so captures need no move-after-construct. */
+    struct EventNode
     {
-        Tick when;
-        int prio;
-        std::uint64_t seq;
-        Callback cb;
+        EventNode *next = nullptr;       ///< intrusive FIFO link
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        void (*invoke)(EventNode &) = nullptr;
+        void (*destroy)(EventNode &) = nullptr; ///< null = trivial
+        std::uint8_t prio = 0;
+        alignas(std::max_align_t) unsigned char storage[inlineCaptureBytes];
     };
-    struct Later
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= inlineCaptureBytes &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_move_constructible_v<Fn>;
+    }
+
+    /** One wheel slot: per-priority FIFO lists. While a tick is inside
+     *  the wheel window, a slot holds events of exactly one tick, so a
+     *  list is already in (prio, seq) execution order. */
+    struct Bucket
+    {
+        EventNode *head[numPrios];
+        EventNode *tail[numPrios];
+        unsigned occ; ///< bitmask of non-empty priority lists
+    };
+
+    /** Heap order for far-out events: earliest (when, prio, seq) at
+     *  the front of farHeap_. */
+    struct FarLater
     {
         bool
-        operator()(const Item &a, const Item &b) const
+        operator()(const EventNode *a, const EventNode *b) const
         {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.prio != b.prio)
-                return a.prio > b.prio;
-            return a.seq > b.seq;
+            if (a->when != b->when)
+                return a->when > b->when;
+            if (a->prio != b->prio)
+                return a->prio > b->prio;
+            return a->seq > b->seq;
         }
     };
 
-    std::priority_queue<Item, std::vector<Item>, Later> heap_;
+    EventNode *makeNode(Tick when, EventPrio prio);
+    void recycle(EventNode *n);
+    void insert(EventNode *n);
+    void pushWheel(EventNode *n);
+    void pushFar(EventNode *n);
+    void migrateFar();
+    void rebase(Tick newBase);
+    EventNode *findEarliest();
+    void popFound();
+    void fire(EventNode *n);
+
+    std::vector<Bucket> wheel_;           ///< wheelSlots buckets
+    std::uint64_t slotOcc_[wheelSlots / 64] = {}; ///< non-empty slots
+    std::vector<EventNode *> farHeap_;    ///< beyond the wheel window
+    Tick windowBase_ = 0; ///< wheel covers [windowBase_, +wheelSlots)
+    std::size_t wheelCount_ = 0;
+    std::size_t size_ = 0;
+
+    /** Slot/prio of the node findEarliest() returned, for popFound(). */
+    std::size_t foundSlot_ = 0;
+    int foundPrio_ = 0;
+
+    std::vector<std::unique_ptr<EventNode[]>> chunks_; ///< node pool
+    EventNode *freeList_ = nullptr;
+    static constexpr std::size_t chunkNodes = 64;
+
     Tick _now = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;
     bool stopRequested_ = false;
+    KernelStats kstats_;
 };
 
 } // namespace tlr

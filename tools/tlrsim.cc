@@ -8,21 +8,30 @@
  *   tlrsim --workload=radiosity --scheme=base --stats=spec
  *   tlrsim --workload=dlist --scheme=tlr --trace 2>trace.log
  *
+ * `--cpus` and `--scheme` accept comma-separated lists; more than one
+ * combination turns the invocation into a sweep executed on `--jobs`
+ * host threads (default: hardware concurrency). `--bench-json=FILE`
+ * records per-config wall-clock and events/sec either way.
+ *
  * Run with --help for the full flag list. Exit status is 0 on a
  * completed, validated run; 2 on validation failure; 3 on watchdog
  * timeout (livelock).
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "harness/runner.hh"
 #include "harness/scheme.hh"
+#include "harness/sweep.hh"
 #include "harness/system.hh"
+#include "harness/table.hh"
 #include "sim/logging.hh"
 #include "trace/lifecycle.hh"
 #include "workloads/apps.hh"
@@ -40,13 +49,15 @@ struct Options
     std::string workload = "single-counter";
     std::string scheme = "tlr";
     std::string protocol = "broadcast";
-    int cpus = 8;
+    std::string cpus = "8";  ///< comma-separated list
     std::uint64_t ops = 1024;
     std::uint64_t seed = 12345;
     bool trace = false;
     std::string traceOut;    // Chrome-trace JSON destination
     bool checkInvariants = false;
     std::string statsJson;   // JSON counter dump destination
+    std::string benchJson;   // per-config host-perf dump destination
+    unsigned jobs = 0;       // 0 = hardware concurrency
     size_t ringCapacity = 4096;
     std::string statsPrefix; // empty = no dump; "all" = everything
     Tick maxTicks = 2'000'000'000ull;
@@ -64,9 +75,13 @@ usage()
     std::printf(
         "tlrsim — Transactional Lock Removal simulator driver\n\n"
         "  --workload=NAME     workload to run (see --list)\n"
-        "  --scheme=S          base | sle | tlr | tlr-strict | mcs\n"
+        "  --scheme=S[,S...]   base | sle | tlr | tlr-strict | mcs\n"
         "  --protocol=P        broadcast | directory\n"
-        "  --cpus=N            processor count (default 8)\n"
+        "  --cpus=N[,N...]     processor count(s) (default 8); more\n"
+        "                      than one (scheme, cpus) combination\n"
+        "                      runs as a host-parallel sweep\n"
+        "  --jobs=N            host threads for a sweep (default:\n"
+        "                      hardware concurrency)\n"
         "  --ops=N             total operations / iterations per cpu\n"
         "  --seed=N            deterministic RNG seed\n"
         "  --wb-lines=N        speculative write-buffer lines (64)\n"
@@ -77,6 +92,8 @@ usage()
         "  --max-ticks=N       watchdog horizon\n"
         "  --stats[=PREFIX]    dump counters (optionally filtered)\n"
         "  --stats-json=FILE   write all counters as JSON\n"
+        "  --bench-json=FILE   write per-config wall-clock and\n"
+        "                      events/sec as JSON\n"
         "  --trace             emit the event trace on stderr\n"
         "  --trace-out=FILE    write per-transaction lifecycle spans as\n"
         "                      Chrome-trace JSON (Perfetto-loadable)\n"
@@ -103,11 +120,27 @@ parseScheme(const std::string &s)
           s.c_str());
 }
 
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos <= s.size()) {
+        size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > pos)
+            out.push_back(s.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
 Workload
-buildWorkload(const Options &o, LockKind kind)
+buildWorkload(const Options &o, int cpus, LockKind kind)
 {
     MicroParams mp;
-    mp.numCpus = o.cpus;
+    mp.numCpus = cpus;
     mp.lockKind = kind;
     mp.totalOps = o.ops;
     if (o.workload == "single-counter")
@@ -117,25 +150,25 @@ buildWorkload(const Options &o, LockKind kind)
     if (o.workload == "dlist")
         return makeDoublyLinkedList(mp);
     if (o.workload == "reverse-writers")
-        return makeReverseWriters(o.cpus, o.ops);
+        return makeReverseWriters(cpus, o.ops);
     if (o.workload == "rotated-blocks")
-        return makeRotatedBlocks(o.cpus, o.ops);
+        return makeRotatedBlocks(cpus, o.ops);
     for (AppProfile p : allAppProfiles()) {
         if (o.workload == p.name) {
             p.itersPerCpu = o.ops;
-            return makeAppKernel(p, o.cpus, kind);
+            return makeAppKernel(p, cpus, kind);
         }
     }
     if (o.workload == "bank")
-        return makeBankTransfer(o.cpus, 16, o.ops, kind);
+        return makeBankTransfer(cpus, 16, o.ops, kind);
     if (o.workload == "octree")
-        return makeOctreeInsert(o.cpus, 2, o.ops, kind);
+        return makeOctreeInsert(cpus, 2, o.ops, kind);
     if (o.workload == "history")
-        return makeHistoryCounter(o.cpus, o.ops, kind);
+        return makeHistoryCounter(cpus, o.ops, kind);
     if (o.workload == "mp3d-coarse") {
         AppProfile p = mp3dCoarseProfile();
         p.itersPerCpu = o.ops;
-        return makeAppKernel(p, o.cpus, kind);
+        return makeAppKernel(p, cpus, kind);
     }
     fatal("unknown workload '%s' (try --list)", o.workload.c_str());
 }
@@ -171,66 +204,11 @@ parseFlag(const char *arg, const char *name, std::string &out)
     return false;
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+MachineParams
+buildMachineParams(const Options &o, Scheme scheme, int cpus)
 {
-    Options o;
-    for (int i = 1; i < argc; ++i) {
-        std::string v;
-        const char *a = argv[i];
-        if (parseFlag(a, "--workload", v)) o.workload = v;
-        else if (parseFlag(a, "--scheme", v)) o.scheme = v;
-        else if (parseFlag(a, "--protocol", v)) o.protocol = v;
-        else if (parseFlag(a, "--cpus", v)) o.cpus = std::atoi(v.c_str());
-        else if (parseFlag(a, "--ops", v))
-            o.ops = std::strtoull(v.c_str(), nullptr, 0);
-        else if (parseFlag(a, "--seed", v))
-            o.seed = std::strtoull(v.c_str(), nullptr, 0);
-        else if (parseFlag(a, "--wb-lines", v))
-            o.wbLines = static_cast<unsigned>(std::atoi(v.c_str()));
-        else if (parseFlag(a, "--victim", v))
-            o.victimEntries = static_cast<unsigned>(std::atoi(v.c_str()));
-        else if (parseFlag(a, "--yield-timeout", v))
-            o.yieldTimeout = std::strtoull(v.c_str(), nullptr, 0);
-        else if (parseFlag(a, "--preempt-every", v))
-            o.preemptEvery = std::atoi(v.c_str());
-        else if (parseFlag(a, "--preempt-quantum", v))
-            o.preemptQuantum = std::strtoull(v.c_str(), nullptr, 0);
-        else if (parseFlag(a, "--max-ticks", v))
-            o.maxTicks = std::strtoull(v.c_str(), nullptr, 0);
-        else if (parseFlag(a, "--stats", v)) o.statsPrefix = v;
-        else if (std::strcmp(a, "--stats") == 0) o.statsPrefix = "all";
-        else if (parseFlag(a, "--stats-json", v)) o.statsJson = v;
-        else if (parseFlag(a, "--trace-out", v)) o.traceOut = v;
-        else if (parseFlag(a, "--trace-ring", v))
-            o.ringCapacity =
-                static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 0));
-        else if (std::strcmp(a, "--check-invariants") == 0)
-            o.checkInvariants = true;
-        else if (std::strcmp(a, "--trace") == 0) o.trace = true;
-        else if (std::strcmp(a, "--list") == 0) o.listWorkloads = true;
-        else if (std::strcmp(a, "--help") == 0 ||
-                 std::strcmp(a, "-h") == 0) {
-            usage();
-            return 0;
-        } else {
-            std::fprintf(stderr, "unknown flag: %s\n", a);
-            usage();
-            return 1;
-        }
-    }
-    if (o.listWorkloads) {
-        listWorkloads();
-        return 0;
-    }
-
-    Trace::enabled = o.trace;
-    Scheme scheme = parseScheme(o.scheme);
-
     MachineParams mp;
-    mp.numCpus = o.cpus;
+    mp.numCpus = cpus;
     if (o.protocol == "directory")
         mp.protocol = Protocol::Directory;
     else if (o.protocol != "broadcast")
@@ -242,6 +220,72 @@ main(int argc, char **argv)
     mp.l1.yieldTimeout = o.yieldTimeout;
     mp.seed = o.seed;
     mp.maxTicks = o.maxTicks;
+    return mp;
+}
+
+void
+installPreemptions(System &sys, const Options &o, int cpus)
+{
+    if (o.preemptEvery <= 0)
+        return;
+    for (int k = 1;
+         static_cast<Tick>(k) * static_cast<Tick>(o.preemptEvery) <
+         o.maxTicks && k <= 100000;
+         ++k) {
+        sys.preemptCore(k % cpus,
+                        static_cast<Tick>(k) *
+                            static_cast<Tick>(o.preemptEvery),
+                        o.preemptQuantum);
+    }
+}
+
+/** One (scheme, cpus) cell of a sweep, with host-side measurements. */
+struct ConfigRow
+{
+    std::string schemeStr;
+    int cpus = 0;
+    RunStats stats;
+    double wallSec = 0;
+};
+
+void
+writeBenchJson(const Options &o, const std::vector<ConfigRow> &rows)
+{
+    std::ofstream out(o.benchJson);
+    if (!out)
+        fatal("cannot write bench file '%s'", o.benchJson.c_str());
+    out << "[\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const ConfigRow &r = rows[i];
+        double evps = r.wallSec > 0 ?
+                          static_cast<double>(r.stats.kernelEvents) /
+                              r.wallSec :
+                          0;
+        char buf[512];
+        std::snprintf(
+            buf, sizeof(buf),
+            "  {\"workload\": \"%s\", \"scheme\": \"%s\", "
+            "\"cpus\": %d, \"ops\": %llu, \"completed\": %s, "
+            "\"valid\": %s, \"cycles\": %llu, \"events\": %llu, "
+            "\"wall_sec\": %.6f, \"events_per_sec\": %.0f}%s\n",
+            o.workload.c_str(), r.schemeStr.c_str(), r.cpus,
+            static_cast<unsigned long long>(o.ops),
+            r.stats.completed ? "true" : "false",
+            r.stats.valid ? "true" : "false",
+            static_cast<unsigned long long>(r.stats.cycles),
+            static_cast<unsigned long long>(r.stats.kernelEvents),
+            r.wallSec, evps, i + 1 < rows.size() ? "," : "");
+        out << buf;
+    }
+    out << "]\n";
+}
+
+int
+runSingle(const Options &o, const std::string &schemeStr, int cpus)
+{
+    Scheme scheme = parseScheme(schemeStr);
+    Trace::enabled = o.trace;
+    MachineParams mp = buildMachineParams(o, scheme, cpus);
 
     const bool wantTrace = o.trace || !o.traceOut.empty() ||
                            o.checkInvariants;
@@ -253,26 +297,20 @@ main(int argc, char **argv)
     TxnLifecycle lifecycle;
     if (!o.traceOut.empty())
         sys.addTraceListener(&lifecycle);
-    Workload wl = buildWorkload(o, schemeLockKind(scheme));
+    Workload wl = buildWorkload(o, cpus, schemeLockKind(scheme));
     installWorkload(sys, wl);
-    if (o.preemptEvery > 0) {
-        for (int k = 1;
-             static_cast<Tick>(k) * static_cast<Tick>(o.preemptEvery) <
-             o.maxTicks && k <= 100000;
-             ++k) {
-            sys.preemptCore(k % o.cpus,
-                            static_cast<Tick>(k) *
-                                static_cast<Tick>(o.preemptEvery),
-                            o.preemptQuantum);
-        }
-    }
+    installPreemptions(sys, o, cpus);
 
+    auto t0 = std::chrono::steady_clock::now();
     bool completed = sys.run();
+    double wallSec = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
     bool valid = wl.validate ? wl.validate(sys) : true;
     const StatSet &s = sys.stats();
 
     std::printf("workload=%s scheme=%s cpus=%d ops=%llu\n",
-                wl.name.c_str(), schemeName(scheme), o.cpus,
+                wl.name.c_str(), schemeName(scheme), cpus,
                 static_cast<unsigned long long>(o.ops));
     std::printf("completed=%s valid=%s cycles=%llu\n",
                 completed ? "yes" : "NO (watchdog)",
@@ -317,7 +355,165 @@ main(int argc, char **argv)
             fatal("cannot write stats file '%s'", o.statsJson.c_str());
         out << s.dumpJson();
     }
+    if (!o.benchJson.empty()) {
+        ConfigRow row;
+        row.schemeStr = schemeStr;
+        row.cpus = cpus;
+        row.stats.completed = completed;
+        row.stats.valid = valid;
+        row.stats.cycles = sys.completionTick();
+        row.stats.kernelEvents = sys.eventQueue().executed();
+        row.wallSec = wallSec;
+        writeBenchJson(o, {row});
+    }
     if (!completed)
         return 3;
     return valid ? 0 : 2;
+}
+
+int
+runSweepMode(const Options &o, const std::vector<std::string> &schemes,
+             const std::vector<int> &cpusList)
+{
+    if (o.trace || !o.traceOut.empty())
+        fatal("--trace/--trace-out need a single (scheme, cpus) "
+              "config; narrow --scheme/--cpus");
+    if (!o.statsJson.empty() || !o.statsPrefix.empty())
+        fatal("--stats/--stats-json need a single (scheme, cpus) "
+              "config; narrow --scheme/--cpus");
+
+    std::vector<SweepTask> tasks;
+    std::vector<ConfigRow> rows;
+    for (const std::string &ss : schemes) {
+        Scheme scheme = parseScheme(ss);
+        for (int cpus : cpusList) {
+            MachineParams mp = buildMachineParams(o, scheme, cpus);
+            Workload wl = buildWorkload(o, cpus,
+                                        schemeLockKind(scheme));
+            const Options *op = &o;
+            tasks.push_back(
+                {ss + "/p" + std::to_string(cpus),
+                 [mp, wl, op, cpus] {
+                     System sys(mp);
+                     installWorkload(sys, wl);
+                     installPreemptions(sys, *op, cpus);
+                     RunStats r;
+                     r.completed = sys.run();
+                     r.valid = wl.validate ? wl.validate(sys) : true;
+                     r.cycles = sys.completionTick();
+                     r.kernelEvents = sys.eventQueue().executed();
+                     r.commits = sys.stats().sum("spec", "commits");
+                     r.restarts = sys.stats().sum("spec", "restarts");
+                     return r;
+                 }});
+            ConfigRow row;
+            row.schemeStr = ss;
+            row.cpus = cpus;
+            rows.push_back(row);
+        }
+    }
+
+    unsigned jobs = o.jobs ? o.jobs : defaultJobs();
+    std::printf("sweep: %zu configs of workload=%s on %u host "
+                "thread(s)\n",
+                tasks.size(), o.workload.c_str(), jobs);
+    std::vector<SweepResult> res = runSweep(tasks, jobs);
+
+    Table t({"scheme", "cpus", "completed", "valid", "cycles",
+             "commits", "restarts", "wall(s)", "Mev/s"});
+    int exitCode = 0;
+    for (size_t i = 0; i < res.size(); ++i) {
+        rows[i].stats = res[i].stats;
+        rows[i].wallSec = res[i].wallSeconds;
+        const RunStats &r = res[i].stats;
+        char wall[32], mevs[32];
+        std::snprintf(wall, sizeof(wall), "%.3f", res[i].wallSeconds);
+        std::snprintf(mevs, sizeof(mevs), "%.2f",
+                      res[i].wallSeconds > 0 ?
+                          static_cast<double>(r.kernelEvents) / 1e6 /
+                              res[i].wallSeconds :
+                          0);
+        t.addRow({rows[i].schemeStr, std::to_string(rows[i].cpus),
+                  r.completed ? "yes" : "NO", r.valid ? "yes" : "NO",
+                  Table::num(r.cycles), Table::num(r.commits),
+                  Table::num(r.restarts), wall, mevs});
+        if (!r.completed)
+            exitCode = 3;
+        else if (!r.valid && exitCode == 0)
+            exitCode = 2;
+    }
+    std::printf("%s", t.str().c_str());
+    if (!o.benchJson.empty())
+        writeBenchJson(o, rows);
+    return exitCode;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        const char *a = argv[i];
+        if (parseFlag(a, "--workload", v)) o.workload = v;
+        else if (parseFlag(a, "--scheme", v)) o.scheme = v;
+        else if (parseFlag(a, "--protocol", v)) o.protocol = v;
+        else if (parseFlag(a, "--cpus", v)) o.cpus = v;
+        else if (parseFlag(a, "--jobs", v))
+            o.jobs = static_cast<unsigned>(std::atoi(v.c_str()));
+        else if (parseFlag(a, "--ops", v))
+            o.ops = std::strtoull(v.c_str(), nullptr, 0);
+        else if (parseFlag(a, "--seed", v))
+            o.seed = std::strtoull(v.c_str(), nullptr, 0);
+        else if (parseFlag(a, "--wb-lines", v))
+            o.wbLines = static_cast<unsigned>(std::atoi(v.c_str()));
+        else if (parseFlag(a, "--victim", v))
+            o.victimEntries = static_cast<unsigned>(std::atoi(v.c_str()));
+        else if (parseFlag(a, "--yield-timeout", v))
+            o.yieldTimeout = std::strtoull(v.c_str(), nullptr, 0);
+        else if (parseFlag(a, "--preempt-every", v))
+            o.preemptEvery = std::atoi(v.c_str());
+        else if (parseFlag(a, "--preempt-quantum", v))
+            o.preemptQuantum = std::strtoull(v.c_str(), nullptr, 0);
+        else if (parseFlag(a, "--max-ticks", v))
+            o.maxTicks = std::strtoull(v.c_str(), nullptr, 0);
+        else if (parseFlag(a, "--stats", v)) o.statsPrefix = v;
+        else if (std::strcmp(a, "--stats") == 0) o.statsPrefix = "all";
+        else if (parseFlag(a, "--stats-json", v)) o.statsJson = v;
+        else if (parseFlag(a, "--bench-json", v)) o.benchJson = v;
+        else if (parseFlag(a, "--trace-out", v)) o.traceOut = v;
+        else if (parseFlag(a, "--trace-ring", v))
+            o.ringCapacity =
+                static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 0));
+        else if (std::strcmp(a, "--check-invariants") == 0)
+            o.checkInvariants = true;
+        else if (std::strcmp(a, "--trace") == 0) o.trace = true;
+        else if (std::strcmp(a, "--list") == 0) o.listWorkloads = true;
+        else if (std::strcmp(a, "--help") == 0 ||
+                 std::strcmp(a, "-h") == 0) {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", a);
+            usage();
+            return 1;
+        }
+    }
+    if (o.listWorkloads) {
+        listWorkloads();
+        return 0;
+    }
+
+    std::vector<std::string> schemes = splitList(o.scheme);
+    std::vector<int> cpusList;
+    for (const std::string &c : splitList(o.cpus))
+        cpusList.push_back(std::atoi(c.c_str()));
+    if (schemes.empty() || cpusList.empty())
+        fatal("--scheme/--cpus must name at least one value");
+
+    if (schemes.size() * cpusList.size() == 1)
+        return runSingle(o, schemes[0], cpusList[0]);
+    return runSweepMode(o, schemes, cpusList);
 }
