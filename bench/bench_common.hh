@@ -30,6 +30,7 @@
 #include "harness/runner.hh"
 #include "harness/sweep.hh"
 #include "harness/table.hh"
+#include "metrics/collector.hh"
 
 namespace tlrbench
 {
@@ -182,6 +183,40 @@ printSchemeGrid(const std::string &title, const std::string &prefix,
         std::printf("%s\n", footer.c_str());
 }
 
+/**
+ * One-line latency/contention digest per cached config, printed when
+ * the runs carried metrics (TLR_METRICS=1 makes runScheme() attach a
+ * MetricsCollector). Silent otherwise, so default bench output is
+ * unchanged.
+ */
+inline void
+maybePrintMetricsTable()
+{
+    bool any = false;
+    for (const auto &[key, r] : results())
+        if (r.metrics)
+            any = true;
+    if (!any)
+        return;
+    std::printf("\n=== metrics digest (TLR_METRICS) ===\n");
+    tlr::Table t({"config", "cs p50", "cs p90", "cs p99", "defer p99",
+                  "restarts"});
+    for (const auto &[key, r] : results()) {
+        if (!r.metrics)
+            continue;
+        const tlr::MetricsSnapshot &m = *r.metrics;
+        auto pct = [](const tlr::Histogram &h, double p) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.0f", h.percentile(p));
+            return std::string(buf);
+        };
+        t.addRow({key, pct(m.csLatency, 50), pct(m.csLatency, 90),
+                  pct(m.csLatency, 99), pct(m.deferWait, 99),
+                  tlr::Table::num(r.restarts)});
+    }
+    std::printf("%s", t.str().c_str());
+}
+
 /** Pre-run every registered simulation on @p jobs host threads. */
 inline void
 prewarmRegistry(unsigned jobs)
@@ -228,6 +263,7 @@ benchMain(int argc, char **argv, const std::function<void()> &register_fn,
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     print_fn();
+    maybePrintMetricsTable();
     return 0;
 }
 

@@ -30,6 +30,7 @@
 #include "harness/scheme.hh"
 #include "harness/sweep.hh"
 #include "harness/system.hh"
+#include "sim/build_info.hh"
 #include "workloads/micro.hh"
 #include "workloads/workload.hh"
 
@@ -191,6 +192,7 @@ main(int argc, char **argv)
     std::snprintf(
         buf, sizeof(buf),
         "{\n"
+        "  \"schema_version\": %d,\n"
         "  \"kernel_small_events_per_sec\": %.0f,\n"
         "  \"kernel_large_events_per_sec\": %.0f,\n"
         "  \"kernel_large_spilled_captures\": %llu,\n"
@@ -204,7 +206,7 @@ main(int argc, char **argv)
         "  \"sweep_fig08_jobs4_sec\": %.3f,\n"
         "  \"host_threads\": %u\n"
         "}\n",
-        evSmall, evLarge,
+        statsSchemaVersion, evSmall, evLarge,
         static_cast<unsigned long long>(largeSpills), simEv, simsPs,
         static_cast<unsigned long long>(simEvents),
         static_cast<unsigned long long>(ks.poolChunks),

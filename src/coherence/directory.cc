@@ -40,6 +40,18 @@ DirectoryInterconnect::submit(const BusRequest &req)
 }
 
 void
+DirectoryInterconnect::traceFwd(const BusRequest &req, CpuId dest,
+                                bool inval)
+{
+    if (TLR_TRACE_ARMED(trace_))
+        trace_->emit(eq_.now(), TraceComp::Dir, TraceEvent::CohFwd,
+                     req.requester, req.line,
+                     static_cast<std::uint64_t>(dest),
+                     static_cast<std::uint64_t>(req.type),
+                     inval ? 1 : 0);
+}
+
+void
 DirectoryInterconnect::pump()
 {
     if (queue_.empty()) {
@@ -86,12 +98,14 @@ DirectoryInterconnect::process(const BusRequest &req)
         for (CpuId c : e.sharers) {
             if (c != req.requester) {
                 ++invalidations_;
+                traceFwd(req, c, true);
                 snooper(c)->snoop(req);
             }
         }
         if (e.owner != invalidCpu && e.owner != req.requester &&
             !e.sharers.count(e.owner)) {
             ++invalidations_;
+            traceFwd(req, e.owner, true);
             snooper(e.owner)->snoop(req);
         }
         e.owner = req.requester;
@@ -106,6 +120,7 @@ DirectoryInterconnect::process(const BusRequest &req)
         bool anyOwner = false;
         if (e.owner != invalidCpu) {
             ++fwdSnoops_;
+            traceFwd(req, e.owner, false);
             SnoopReply r = snooper(e.owner)->snoop(req);
             anyOwner = r.owner;
             if (!anyOwner)
@@ -138,12 +153,14 @@ DirectoryInterconnect::process(const BusRequest &req)
         CpuId oldOwner = e.owner;
         if (oldOwner != invalidCpu) {
             ++fwdSnoops_;
+            traceFwd(req, oldOwner, false);
             SnoopReply r = snooper(oldOwner)->snoop(req);
             anyOwner = r.owner;
         }
         for (CpuId c : e.sharers) {
             if (c != req.requester && c != oldOwner) {
                 ++invalidations_;
+                traceFwd(req, c, true);
                 snooper(c)->snoop(req);
             }
         }

@@ -50,6 +50,9 @@ class DirectoryInterconnect : public Interconnect
 
     void pump();
     void process(const BusRequest &req);
+    /** Trace a directory-forwarded snoop/invalidation toward @p dest
+     *  (metrics: per-link accounting of directory fan-out traffic). */
+    void traceFwd(const BusRequest &req, CpuId dest, bool inval);
 
     std::unordered_map<Addr, Entry> dir_;
     std::deque<BusRequest> queue_;

@@ -508,6 +508,19 @@ L1Controller::winsConflict(const Timestamp &incoming) const
     return !incoming.earlierThan(hooks_.currentTs());
 }
 
+std::uint64_t
+L1Controller::deferredDepth() const
+{
+    std::uint64_t n = deferred_.size();
+    for (const auto &[la, m] : mshrs_) {
+        (void)la;
+        for (const Waiter &w : m.waiters)
+            if (w.deferred)
+                ++n;
+    }
+    return n;
+}
+
 bool
 L1Controller::deferredExclusive(Addr line_addr) const
 {
@@ -581,13 +594,18 @@ L1Controller::handleChainSnoop(Mshr &mshr, const BusRequest &req,
             // The requester waits until we commit.
             w.deferred = true;
             ++defers_;
-            if (TLR_TRACE_ARMED(trace_))
+            if (TLR_TRACE_ARMED(trace_)) {
                 trace_->emit(eq_.now(), TraceComp::L1,
                              relaxed ? TraceEvent::CohRelaxedDefer
                                      : TraceEvent::CohDefer,
                              id_, mshr.line, req.requester,
                              static_cast<std::uint64_t>(req.type),
                              req.ts.clock, packTsMeta(req.ts));
+                // +1: w joins mshr.waiters just below, on either path.
+                trace_->emit(eq_.now(), TraceComp::L1,
+                             TraceEvent::CohDeferDepth, id_, 0,
+                             deferredDepth() + 1);
+            }
             if (req.ts.valid &&
                 req.ts.earlierThan(hooks_.currentTs())) {
                 mshr.waiters.push_back(w);
@@ -651,6 +669,10 @@ L1Controller::handleOwnerSnoop(CacheLine &line, const BusRequest &req,
             ++defers_;
             deferred_.push_back({la, req.requester, req.type, req.ts});
             line.pinned = true;
+            if (TLR_TRACE_ARMED(trace_))
+                trace_->emit(eq_.now(), TraceComp::L1,
+                             TraceEvent::CohDeferDepth, id_, 0,
+                             deferredDepth());
             net_.sendMarker(req.requester, {la, id_});
             maybeArmYield();
             return; // owner=true already: requester waits on us
@@ -971,6 +993,9 @@ L1Controller::dataResponse(const DataMsg &msg)
             serviceWaiter(w, msg.line);
         }
     }
+    if (!m.waiters.empty() && TLR_TRACE_ARMED(trace_))
+        trace_->emit(eq_.now(), TraceComp::L1, TraceEvent::CohDeferDepth,
+                     id_, 0, deferredDepth());
 
     if (m.queuedOp) {
         CacheOp q = *m.queuedOp;
@@ -1170,11 +1195,15 @@ L1Controller::serviceDeferredQueue()
     if (!deferred_.empty() && TLR_TRACE_ARMED(trace_))
         trace_->emit(eq_.now(), TraceComp::L1, TraceEvent::CohDeferDrain,
                      id_, 0, deferred_.size());
+    const bool drained = !deferred_.empty();
     while (!deferred_.empty()) {
         DeferredReq d = deferred_.front();
         deferred_.pop_front();
         serviceWaiter({d.cpu, d.type, d.ts, false}, d.line);
     }
+    if (drained && TLR_TRACE_ARMED(trace_))
+        trace_->emit(eq_.now(), TraceComp::L1, TraceEvent::CohDeferDepth,
+                     id_, 0, deferredDepth());
     probeHints_.clear();
     yieldArmed_ = false;
     ++yieldGen_;

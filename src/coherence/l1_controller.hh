@@ -113,6 +113,9 @@ class L1Controller : public Snooper
     /** Human-readable dump of MSHRs and the deferred queue. */
     std::string debugState() const;
     size_t deferredCount() const { return deferred_.size(); }
+    /** Total deferral backlog: the deferred queue plus chain waiters
+     *  marked deferred in MSHRs (metrics counter-track sampling). */
+    std::uint64_t deferredDepth() const;
     std::uint64_t peekWord(Addr addr) const;
 
   private:

@@ -31,6 +31,16 @@ enum class ReqType : std::uint8_t
 
 const char *reqTypeName(ReqType t);
 
+/** @{ Modeled wire sizes, used by the metrics layer for interconnect
+ *  byte accounting. Address-network slots carry address + command +
+ *  ids (+ timestamp under TLR); data replies add a full cache line;
+ *  probes add the contender timestamp. Rounded to whole flits. */
+constexpr unsigned addrMsgBytes = 16;
+constexpr unsigned dataMsgBytes = 16 + lineBytes;
+constexpr unsigned markerMsgBytes = 16;
+constexpr unsigned probeMsgBytes = 24;
+/** @} */
+
 /** An address-network transaction. */
 struct BusRequest
 {

@@ -158,7 +158,7 @@ SpecEngine::finishSpecAtomic(const CoreMemOp &op, std::uint64_t old_value,
                                  ? old_value + op.data
                                  : op.data;
     if (doWrite && !wb_.write(op.addr, newValue)) {
-        doAbort(AbortReason::ResourceWriteBuffer, true);
+        doAbort(AbortReason::ResourceWriteBuffer, true, op.addr);
         return;
     }
     if (mark_line)
@@ -278,7 +278,7 @@ SpecEngine::handleSpecStore(const CoreMemOp &op)
     }
 
     if (!wb_.write(op.addr, op.data)) {
-        doAbort(AbortReason::ResourceWriteBuffer, true);
+        doAbort(AbortReason::ResourceWriteBuffer, true, op.addr);
         return;
     }
     issueCacheOp(CacheOp::Kind::EnsureExclusive, op, true, false);
@@ -321,7 +321,7 @@ SpecEngine::tryFinishCommit()
 }
 
 void
-SpecEngine::doAbort(AbortReason reason, bool resource)
+SpecEngine::doAbort(AbortReason reason, bool resource, Addr line_addr)
 {
     if (mode_ != Mode::Spec)
         panic("engine %d: abort outside speculation (%s)", id_,
@@ -385,7 +385,7 @@ SpecEngine::doAbort(AbortReason reason, bool resource)
     // keeps its position in the priority order (paper Section 4).
     if (TLR_TRACE_ARMED(trace_))
         trace_->emit(eq_.now(), TraceComp::Spec, TraceEvent::TxnRestart,
-                     id_, 0, static_cast<std::uint64_t>(reason),
+                     id_, line_addr, static_cast<std::uint64_t>(reason),
                      resource ? 1 : 0, instanceActive_ ? 0 : 1);
     core_->restoreCheckpoint(checkpoint_);
 }
@@ -404,14 +404,13 @@ SpecEngine::conflictAbort(Addr line_addr, AbortReason reason)
         reason == AbortReason::PendingInvalidated) {
         escalation_.insert(lineAlign(line_addr));
     }
-    doAbort(reason, false);
+    doAbort(reason, false, line_addr);
 }
 
 void
 SpecEngine::resourceAbort(Addr line_addr, AbortReason reason)
 {
-    (void)line_addr;
-    doAbort(reason, true);
+    doAbort(reason, true, line_addr);
 }
 
 void

@@ -142,7 +142,7 @@ class SpecEngine : public MemPort, public SpecHooks
                           bool mark_line);
     void beginCommit();
     void tryFinishCommit();
-    void doAbort(AbortReason reason, bool resource);
+    void doAbort(AbortReason reason, bool resource, Addr line_addr = 0);
     void respondCore(std::uint64_t value, Tick delay);
     void issueCacheOp(CacheOp::Kind kind, const CoreMemOp &op, bool spec,
                       bool is_ll);

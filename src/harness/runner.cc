@@ -35,6 +35,9 @@ runWorkload(const MachineParams &mp, const Workload &wl)
     r.traceRecords = sys.traceSink().emitted();
     r.invariantViolations = s.get("trace", "violations");
     r.kernelEvents = sys.eventQueue().executed();
+    if (sys.metrics())
+        r.metrics = std::make_shared<MetricsSnapshot>(
+            sys.metrics()->snapshot());
     return r;
 }
 
@@ -45,6 +48,7 @@ runScheme(Scheme scheme, int num_cpus, const Workload &wl, Tick max_ticks)
     mp.numCpus = num_cpus;
     mp.spec = schemeSpecConfig(scheme);
     mp.maxTicks = max_ticks;
+    mp.collectMetrics = envMetrics();
     return runWorkload(mp, wl);
 }
 
@@ -56,6 +60,13 @@ envScale()
         return 1;
     long v = std::atol(s);
     return v > 0 ? static_cast<std::uint64_t>(v) : 1;
+}
+
+bool
+envMetrics()
+{
+    const char *s = std::getenv("TLR_METRICS");
+    return s && *s && std::string(s) != "0";
 }
 
 } // namespace tlr

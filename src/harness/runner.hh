@@ -8,6 +8,7 @@
 #define TLR_HARNESS_RUNNER_HH
 
 #include <cstdint>
+#include <memory>
 
 #include "harness/scheme.hh"
 #include "harness/system.hh"
@@ -38,6 +39,10 @@ struct RunStats
     /** @{ observability (populated when tracing/checking enabled) */
     std::uint64_t traceRecords = 0;        ///< events emitted by the sink
     std::uint64_t invariantViolations = 0; ///< checker hits (keep-going)
+    /** Full metrics snapshot (latency histograms, lock contention,
+     *  interconnect traffic); null unless MachineParams::collectMetrics
+     *  was set. Shared so RunStats stays cheaply copyable in sweeps. */
+    std::shared_ptr<const MetricsSnapshot> metrics;
     /** @} */
 
     /** Host-side: kernel events the run executed (events/sec metric;
@@ -68,6 +73,11 @@ RunStats runScheme(Scheme scheme, int num_cpus, const Workload &wl,
 /** Workload-scale multiplier from the TLR_SCALE environment variable
  *  (default 1): lets users regenerate paper-sized runs. */
 std::uint64_t envScale();
+
+/** True when the TLR_METRICS environment variable is set non-zero:
+ *  runScheme() then attaches a MetricsCollector to every run so bench
+ *  and figure binaries print latency/contention digests. */
+bool envMetrics();
 
 } // namespace tlr
 

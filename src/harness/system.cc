@@ -32,6 +32,10 @@ System::System(const MachineParams &params)
             params.l1.yieldTimeout);
         trace_.addListener(checkers_.get());
     }
+    if (params.collectMetrics) {
+        metrics_ = std::make_unique<MetricsCollector>();
+        trace_.addListener(metrics_.get());
+    }
     net_->setTrace(&trace_);
     Rng root(params.seed);
     for (int i = 0; i < params.numCpus; ++i) {
@@ -65,6 +69,8 @@ System::setLockClassifier(std::function<bool(Addr)> f)
 {
     for (auto &c : cores_)
         c->setLockClassifier(f);
+    if (metrics_)
+        metrics_->setLockClassifier(f);
 }
 
 void

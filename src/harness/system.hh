@@ -18,6 +18,7 @@
 #include "core/spec_engine.hh"
 #include "cpu/core.hh"
 #include "mem/backing_store.hh"
+#include "metrics/collector.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
@@ -45,6 +46,12 @@ struct MachineParams
     std::uint64_t l2Lines = (4ull << 20) / lineBytes; ///< 4 MB shared L2
     SpecConfig spec;
     TraceParams trace;
+    /** Attach a MetricsCollector to the trace sink. Arms the sink, so
+     *  events are recorded; latency/contention/traffic profiles become
+     *  available via metrics() after the run. Off by default: with no
+     *  listeners the sink stays disarmed and the hot path is a single
+     *  predictable branch. */
+    bool collectMetrics = false;
     std::uint64_t seed = 12345;
     Tick maxTicks = 2'000'000'000ull; ///< watchdog for livelock studies
 };
@@ -66,6 +73,8 @@ class System
     EventQueue &eventQueue() { return eq_; }
     StatSet &stats() { return stats_; }
     TraceSink &traceSink() { return trace_; }
+    /** The attached metrics collector; null unless collectMetrics. */
+    MetricsCollector *metrics() { return metrics_.get(); }
 
     /** Attach an event-stream consumer (lifecycle tracker, custom
      *  checker). The sink arms itself on first listener. */
@@ -98,6 +107,7 @@ class System
     BackingStore store_;
     TraceSink trace_; ///< before net_/l1s_: they capture its address
     std::unique_ptr<InvariantRegistry> checkers_;
+    std::unique_ptr<MetricsCollector> metrics_;
     std::unique_ptr<Interconnect> net_;
     MemoryController mem_;
     std::vector<std::unique_ptr<SpecEngine>> engines_;

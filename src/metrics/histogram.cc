@@ -1,0 +1,116 @@
+#include "metrics/histogram.hh"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace tlr
+{
+
+unsigned
+Histogram::bucketIndex(std::uint64_t v)
+{
+    if (v < subBuckets)
+        return static_cast<unsigned>(v);
+    unsigned top = 63u - static_cast<unsigned>(std::countl_zero(v));
+    unsigned shift = top - subBucketBits;
+    return (top - subBucketBits + 1) * subBuckets +
+           static_cast<unsigned>((v >> shift) - subBuckets);
+}
+
+std::uint64_t
+Histogram::bucketLo(unsigned idx)
+{
+    if (idx < subBuckets)
+        return idx;
+    unsigned octave = idx / subBuckets;
+    unsigned sub = idx % subBuckets;
+    return static_cast<std::uint64_t>(subBuckets + sub) << (octave - 1);
+}
+
+std::uint64_t
+Histogram::bucketHi(unsigned idx)
+{
+    if (idx + 1 >= numBuckets)
+        return std::numeric_limits<std::uint64_t>::max();
+    return bucketLo(idx + 1) - 1;
+}
+
+void
+Histogram::record(std::uint64_t v, std::uint64_t weight)
+{
+    if (weight == 0)
+        return;
+    counts_[bucketIndex(v)] += weight;
+    count_ += weight;
+    sum_ += v * weight;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+}
+
+void
+Histogram::merge(const Histogram &o)
+{
+    for (unsigned i = 0; i < numBuckets; ++i)
+        counts_[i] += o.counts_[i];
+    count_ += o.count_;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    double need = p / 100.0 * static_cast<double>(count_);
+    double cum = 0;
+    for (unsigned i = 0; i < numBuckets; ++i) {
+        std::uint64_t c = counts_[i];
+        if (c == 0)
+            continue;
+        if (cum + static_cast<double>(c) >= need) {
+            double frac =
+                c ? std::clamp((need - cum) / static_cast<double>(c),
+                               0.0, 1.0)
+                  : 0.0;
+            double lo = static_cast<double>(bucketLo(i));
+            double hi = static_cast<double>(bucketHi(i));
+            double v = lo + frac * (hi - lo);
+            return std::clamp(v, static_cast<double>(min_),
+                              static_cast<double>(max_));
+        }
+        cum += static_cast<double>(c);
+    }
+    return static_cast<double>(max_);
+}
+
+std::string
+Histogram::json() const
+{
+    std::ostringstream os;
+    os << "{\"count\": " << count_ << ", \"sum\": " << sum_
+       << ", \"min\": " << min() << ", \"max\": " << max_
+       << strfmt(", \"mean\": %.6g, \"p50\": %.6g, \"p90\": %.6g"
+                 ", \"p99\": %.6g",
+                 mean(), percentile(50), percentile(90), percentile(99))
+       << ", \"buckets\": [";
+    bool first = true;
+    for (unsigned i = 0; i < numBuckets; ++i) {
+        if (counts_[i] == 0)
+            continue;
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "[" << bucketLo(i) << ", " << counts_[i] << "]";
+    }
+    os << "]}";
+    return os.str();
+}
+
+} // namespace tlr

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Allocation-free log-bucketed histogram.
+ *
+ * The paper's evaluation (Figs. 8-11, Table 2) is about distributions
+ * — critical-section latency, restart counts, deferral wait — not just
+ * means. This histogram records 64-bit samples into a fixed array of
+ * logarithmic buckets (4 sub-buckets per power of two, so relative
+ * bucket width is at most 25%), tracks exact count/sum/min/max, and
+ * reports interpolated percentiles.
+ *
+ * Properties the metrics layer relies on:
+ *  - record() is a handful of integer ops into a fixed-size array:
+ *    no heap, no branches on size, safe on the simulation hot path.
+ *  - merge() is a pure element-wise sum plus min/max folds, so it is
+ *    commutative and associative: parallel sweep shards merged in any
+ *    order produce byte-identical JSON (tests/test_metrics.cc).
+ *  - percentile() interpolates linearly inside a bucket and clamps to
+ *    the exact [min, max] envelope, so single-sample and two-sample
+ *    histograms report exact values.
+ */
+
+#ifndef TLR_METRICS_HISTOGRAM_HH
+#define TLR_METRICS_HISTOGRAM_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace tlr
+{
+
+class Histogram
+{
+  public:
+    /** Sub-bucket resolution: 2^2 = 4 linear sub-buckets per octave. */
+    static constexpr unsigned subBucketBits = 2;
+    static constexpr unsigned subBuckets = 1u << subBucketBits;
+    /** Index space: values 0..3 exact, then 4 sub-buckets for each of
+     *  the 62 remaining octaves of a 64-bit value. */
+    static constexpr unsigned numBuckets = 252;
+
+    /** Bucket index for @p v (monotonic in v, total over uint64). */
+    static unsigned bucketIndex(std::uint64_t v);
+    /** Smallest value mapping to bucket @p idx. */
+    static std::uint64_t bucketLo(unsigned idx);
+    /** Largest value mapping to bucket @p idx. */
+    static std::uint64_t bucketHi(unsigned idx);
+
+    void record(std::uint64_t v, std::uint64_t weight = 1);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    bool empty() const { return count_ == 0; }
+    double mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    /** Value at percentile @p p in [0, 100], linearly interpolated
+     *  within the containing bucket and clamped to [min, max]. 0 when
+     *  empty. */
+    double percentile(double p) const;
+
+    /** Element-wise accumulate @p o into this histogram. Commutative
+     *  and associative up to byte-identical json() output. */
+    void merge(const Histogram &o);
+
+    /** One JSON object: count/sum/min/max/mean/p50/p90/p99 plus the
+     *  sparse non-zero bucket list (bucket floor value -> count). */
+    std::string json() const;
+
+    bool operator==(const Histogram &o) const
+    {
+        return count_ == o.count_ && sum_ == o.sum_ && min_ == o.min_ &&
+               max_ == o.max_ && counts_ == o.counts_;
+    }
+
+  private:
+    std::array<std::uint64_t, numBuckets> counts_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~0ull;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace tlr
+
+#endif // TLR_METRICS_HISTOGRAM_HH

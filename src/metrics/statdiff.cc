@@ -1,0 +1,181 @@
+#include "metrics/statdiff.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "sim/logging.hh"
+
+namespace tlr
+{
+
+namespace
+{
+
+void
+flattenInto(const JsonValue &v, const std::string &prefix, bool top,
+            std::vector<std::pair<std::string, double>> &out)
+{
+    if (v.isNumber()) {
+        out.emplace_back(prefix, v.number);
+        return;
+    }
+    if (v.isObject()) {
+        for (const auto &[key, child] : v.members) {
+            // Versioning and build metadata are not metrics: the
+            // schema check handles the former, and comparing compiler
+            // strings numerically is meaningless.
+            if (top && (key == "schema_version" || key == "meta"))
+                continue;
+            flattenInto(child, prefix.empty() ? key : prefix + "." + key,
+                        false, out);
+        }
+        return;
+    }
+    if (v.isArray()) {
+        for (size_t i = 0; i < v.elements.size(); ++i)
+            flattenInto(v.elements[i],
+                        prefix + "[" + std::to_string(i) + "]", false,
+                        out);
+    }
+    // Strings/bools/nulls are not comparable metrics; skip.
+}
+
+long
+schemaOf(const JsonValue &doc)
+{
+    const JsonValue *s = doc.find("schema_version");
+    return s && s->isNumber() ? static_cast<long>(s->number) : -1;
+}
+
+} // namespace
+
+void
+flattenNumbers(const JsonValue &v,
+               std::vector<std::pair<std::string, double>> &out)
+{
+    flattenInto(v, "", true, out);
+}
+
+const JsonValue *
+resolvePath(const JsonValue &v, const std::string &path)
+{
+    const JsonValue *cur = &v;
+    size_t pos = 0;
+    while (pos < path.size()) {
+        size_t dot = path.find('.', pos);
+        if (dot == std::string::npos)
+            dot = path.size();
+        cur = cur->find(path.substr(pos, dot - pos));
+        if (!cur)
+            return nullptr;
+        pos = dot + 1;
+    }
+    return cur;
+}
+
+DiffReport
+diffStats(const JsonValue &old_doc, const JsonValue &new_doc,
+          const DiffOptions &opt)
+{
+    DiffReport rep;
+    rep.oldSchema = schemaOf(old_doc);
+    rep.newSchema = schemaOf(new_doc);
+    // Two legacy (pre-versioning) dumps may still be compared; any
+    // other mismatch means the key spaces are not the same schema.
+    if (rep.oldSchema != rep.newSchema) {
+        rep.schemaMismatch = true;
+        return rep;
+    }
+
+    const JsonValue *oldRoot = resolvePath(old_doc, opt.oldPrefix);
+    const JsonValue *newRoot = resolvePath(new_doc, opt.newPrefix);
+    if (!oldRoot) {
+        rep.error = "old document: no such path: " + opt.oldPrefix;
+        return rep;
+    }
+    if (!newRoot) {
+        rep.error = "new document: no such path: " + opt.newPrefix;
+        return rep;
+    }
+
+    std::vector<std::pair<std::string, double>> oldFlat, newFlat;
+    flattenNumbers(*oldRoot, oldFlat);
+    flattenNumbers(*newRoot, newFlat);
+    std::map<std::string, double> oldMap(oldFlat.begin(), oldFlat.end());
+    std::map<std::string, double> newMap(newFlat.begin(), newFlat.end());
+
+    for (const auto &[key, oldVal] : oldMap) {
+        auto it = newMap.find(key);
+        if (it == newMap.end()) {
+            rep.onlyOld.push_back(key);
+            continue;
+        }
+        DiffRow row;
+        row.key = key;
+        row.oldVal = oldVal;
+        row.newVal = it->second;
+        if (oldVal == it->second)
+            row.relPct = 0;
+        else if (oldVal == 0)
+            row.relPct = std::numeric_limits<double>::infinity();
+        else
+            row.relPct = 100.0 * (it->second - oldVal) / std::abs(oldVal);
+        row.exceeded = std::abs(row.relPct) > opt.thresholdPct;
+        if (row.exceeded)
+            ++rep.exceeded;
+        rep.rows.push_back(std::move(row));
+    }
+    for (const auto &[key, val] : newMap) {
+        (void)val;
+        if (!oldMap.count(key))
+            rep.onlyNew.push_back(key);
+    }
+    return rep;
+}
+
+std::string
+renderDiff(const DiffReport &rep, const DiffOptions &opt)
+{
+    std::string out;
+    if (rep.schemaMismatch) {
+        out += strfmt("schema mismatch: old=%ld new=%ld "
+                      "(refusing to diff across schema versions)\n",
+                      rep.oldSchema, rep.newSchema);
+        return out;
+    }
+    if (!rep.error.empty()) {
+        out += "error: " + rep.error + "\n";
+        return out;
+    }
+
+    size_t changed = 0;
+    out += strfmt("%-44s %14s %14s %9s\n", "key", "old", "new", "delta%");
+    for (const DiffRow &r : rep.rows) {
+        if (r.relPct == 0)
+            continue;
+        ++changed;
+        const char *mark = r.exceeded ? "  <-- EXCEEDS" : "";
+        if (std::isinf(r.relPct))
+            out += strfmt("%-44s %14.6g %14.6g %9s%s\n", r.key.c_str(),
+                          r.oldVal, r.newVal, "inf", mark);
+        else
+            out += strfmt("%-44s %14.6g %14.6g %+8.1f%%%s\n",
+                          r.key.c_str(), r.oldVal, r.newVal, r.relPct,
+                          mark);
+    }
+    if (changed == 0)
+        out += "  (no numeric changes)\n";
+    for (const std::string &k : rep.onlyOld)
+        out += strfmt("only in old: %s\n", k.c_str());
+    for (const std::string &k : rep.onlyNew)
+        out += strfmt("only in new: %s\n", k.c_str());
+    out += strfmt("%zu keys compared, %zu changed, %zu exceed "
+                  "threshold (%.1f%%)\n",
+                  rep.rows.size(), changed, rep.exceeded,
+                  opt.thresholdPct);
+    return out;
+}
+
+} // namespace tlr

@@ -1,0 +1,75 @@
+#include "sim/build_info.hh"
+
+// The build system injects TLR_GIT_SHA / TLR_BUILD_FLAGS /
+// TLR_BUILD_TYPE for this translation unit only (src/CMakeLists.txt);
+// fall back gracefully when compiled outside CMake.
+#ifndef TLR_GIT_SHA
+#define TLR_GIT_SHA "unknown"
+#endif
+#ifndef TLR_BUILD_FLAGS
+#define TLR_BUILD_FLAGS ""
+#endif
+#ifndef TLR_BUILD_TYPE
+#define TLR_BUILD_TYPE "unknown"
+#endif
+
+namespace tlr
+{
+
+const char *
+buildCompiler()
+{
+#if defined(__clang__)
+    return "clang " __VERSION__;
+#elif defined(__GNUC__)
+    return "gcc " __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
+const char *
+buildFlags()
+{
+    return TLR_BUILD_FLAGS;
+}
+
+const char *
+buildGitSha()
+{
+    return TLR_GIT_SHA;
+}
+
+const char *
+buildType()
+{
+    return TLR_BUILD_TYPE;
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const char *s)
+{
+    std::string out;
+    for (; *s; ++s) {
+        if (*s == '"' || *s == '\\')
+            out += '\\';
+        out += *s;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+buildMetaJson()
+{
+    return "{\"compiler\": \"" + jsonEscape(buildCompiler()) +
+           "\", \"flags\": \"" + jsonEscape(buildFlags()) +
+           "\", \"git_sha\": \"" + jsonEscape(buildGitSha()) +
+           "\", \"build_type\": \"" + jsonEscape(buildType()) + "\"}";
+}
+
+} // namespace tlr

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Build/host metadata and the stats JSON schema version.
+ *
+ * Every versioned JSON dump (tlrsim --stats-json, bench_kernel --json,
+ * BENCH_kernel.json) carries a `schema_version` plus a `meta` object
+ * identifying the compiler, build flags and git revision that produced
+ * it, so tools/tlrstat can refuse to diff documents whose layouts
+ * disagree and so perf numbers are traceable to a build.
+ */
+
+#ifndef TLR_SIM_BUILD_INFO_HH
+#define TLR_SIM_BUILD_INFO_HH
+
+#include <string>
+
+namespace tlr
+{
+
+/** Version of the dumped stats/metrics JSON layout. v1 was the flat
+ *  "group.name": value object; v2 wraps those counters under
+ *  "counters" and adds meta + optional metrics sections. Bump on any
+ *  shape change — tlrstat exits 2 on a version mismatch. */
+inline constexpr int statsSchemaVersion = 2;
+
+const char *buildCompiler(); ///< e.g. "gcc 13.2.0"
+const char *buildFlags();    ///< CMAKE_CXX_FLAGS the library was built with
+const char *buildGitSha();   ///< short HEAD sha at configure time
+const char *buildType();     ///< CMAKE_BUILD_TYPE
+
+/** The complete "meta" JSON object (one line, no trailing newline). */
+std::string buildMetaJson();
+
+} // namespace tlr
+
+#endif // TLR_SIM_BUILD_INFO_HH

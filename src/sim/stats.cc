@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "sim/build_info.hh"
+
 namespace tlr
 {
 
@@ -44,19 +46,25 @@ StatSet::dump(const std::string &prefix) const
 }
 
 std::string
-StatSet::dumpJson() const
+StatSet::dumpJson(const std::string &extra_sections) const
 {
     // Keys are "group.name" identifiers (no quotes/backslashes), so
     // plain quoting is sufficient.
     std::ostringstream os;
     os << "{\n";
+    os << "  \"schema_version\": " << statsSchemaVersion << ",\n";
+    os << "  \"meta\": " << buildMetaJson() << ",\n";
+    os << "  \"counters\": {\n";
     bool first = true;
     for (const auto &[key, val] : vals_) {
         if (!first)
             os << ",\n";
         first = false;
-        os << "  \"" << key << "\": " << val;
+        os << "    \"" << key << "\": " << val;
     }
+    os << "\n  }";
+    if (!extra_sections.empty())
+        os << ",\n" << extra_sections;
     os << "\n}\n";
     return os.str();
 }

@@ -36,9 +36,14 @@ class StatSet
     /** Render "key = value" lines, optionally filtered by prefix. */
     std::string dump(const std::string &prefix = "") const;
 
-    /** Render every counter as one flat JSON object, sorted by key
-     *  (tlrsim --stats-json; machine-readable run comparison). */
-    std::string dumpJson() const;
+    /** Render the counters as a versioned JSON document:
+     *  {"schema_version": N, "meta": {...}, "counters": {flat}}.
+     *  The "counters" subobject is the flat sorted key map (tlrsim
+     *  --stats-json; machine-readable run comparison — tlrstat).
+     *  @p extra_sections, when non-empty, is spliced verbatim as
+     *  additional top-level members (already-rendered JSON of the form
+     *  `"key": {...}`); the metrics layer adds its section this way. */
+    std::string dumpJson(const std::string &extra_sections = "") const;
 
     void clear() { vals_.clear(); }
 

@@ -44,9 +44,11 @@ enum class TraceEvent : std::uint8_t
     TxnElide,       ///< region elided; addr=lock, a0=free value,
                     ///< a1=ts clock, a2=ts meta, a3=1 if new instance
     TxnNest,        ///< nested elision; addr=lock, a0=free value
-    TxnRestart,     ///< misspeculation restart; a0=AbortReason,
-                    ///< a1=1 if resource, a2=1 if instance ended
-                    ///< (fallback to real lock acquisition)
+    TxnRestart,     ///< misspeculation restart; addr=conflicting or
+                    ///< overflowing line (0 when none applies),
+                    ///< a0=AbortReason, a1=1 if resource, a2=1 if
+                    ///< instance ended (fallback to real lock
+                    ///< acquisition)
     TxnCommitStart, ///< all misses drained, atomic commit begins
     TxnCommit,      ///< commit done; a0=lines written, a1=ts clock
     TxnQuantumEnd,  ///< instance ended by the scheduling-quantum bound
@@ -79,6 +81,12 @@ enum class TraceEvent : std::uint8_t
     CohProbe,       ///< probe sent; addr=line, a0=destination cpu,
                     ///< a1=ts clock, a2=ts meta
     CohData,        ///< data message sent; addr=line, a0=dest, a1=Grant
+    CohDeferDepth,  ///< deferral backlog changed; a0=new depth
+                    ///< (deferred queue + deferred chain waiters) —
+                    ///< sampled by the metrics layer as a counter track
+    CohFwd,         ///< directory forwarded a snoop; addr=line,
+                    ///< a0=target cpu, a1=ReqType, a2=1 if invalidation
+                    ///< (comp=Dir, cpu=requester)
     /** @} */
 
     /** @{ Line-ownership transitions (comp=L1, cpu=cache). */

@@ -121,7 +121,9 @@ outcomeColor(const std::string &outcome)
 } // namespace
 
 void
-TxnLifecycle::exportChromeTrace(std::ostream &os) const
+TxnLifecycle::exportChromeTrace(std::ostream &os,
+                                const std::vector<CounterTrack> &counters)
+    const
 {
     // Durations use "X" complete events; markers use "i" instants.
     // Ticks (cycles) are written as microseconds so viewers show cycle
@@ -174,6 +176,18 @@ TxnLifecycle::exportChromeTrace(std::ostream &os) const
                      i.cpu, i.name.c_str(),
                      static_cast<unsigned long long>(i.tick),
                      i.detail.c_str());
+    }
+
+    // Counter tracks render as per-name value graphs in Perfetto.
+    for (const CounterTrack &c : counters) {
+        for (const auto &[tick, value] : c.samples) {
+            sep();
+            os << strfmt("{\"ph\":\"C\",\"pid\":0,\"name\":\"%s\","
+                         "\"ts\":%llu,\"args\":{\"value\":%llu}}",
+                         c.name.c_str(),
+                         static_cast<unsigned long long>(tick),
+                         static_cast<unsigned long long>(value));
+        }
     }
 
     os << "\n]}\n";

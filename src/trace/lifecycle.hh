@@ -18,12 +18,22 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "trace/sink.hh"
 
 namespace tlr
 {
+
+/** One Perfetto counter track: a named series of (tick, value)
+ *  samples, appended to the Chrome-trace export as "C" events (the
+ *  metrics layer supplies deferral-queue depth tracks this way). */
+struct CounterTrack
+{
+    std::string name;
+    std::vector<std::pair<Tick, std::uint64_t>> samples;
+};
 
 class TxnLifecycle : public TraceListener
 {
@@ -58,8 +68,11 @@ class TxnLifecycle : public TraceListener
     const std::vector<Span> &spans() const { return spans_; }
     const std::vector<Instant> &instants() const { return instants_; }
 
-    /** Write the whole run as Chrome trace-event JSON. */
-    void exportChromeTrace(std::ostream &os) const;
+    /** Write the whole run as Chrome trace-event JSON, optionally
+     *  appending @p counters as Perfetto counter tracks. */
+    void exportChromeTrace(std::ostream &os,
+                           const std::vector<CounterTrack> &counters =
+                               {}) const;
 
   private:
     void closeSpan(CpuId cpu, Tick end, std::string outcome);

@@ -45,6 +45,8 @@ traceEventName(TraceEvent e)
       case TraceEvent::CohMarker: return "marker";
       case TraceEvent::CohProbe: return "probe";
       case TraceEvent::CohData: return "data";
+      case TraceEvent::CohDeferDepth: return "defer-depth";
+      case TraceEvent::CohFwd: return "fwd";
       case TraceEvent::LineInstall: return "line-install";
       case TraceEvent::LineUpgrade: return "line-upgrade";
       case TraceEvent::LineDowngrade: return "line-downgrade";
@@ -126,6 +128,16 @@ formatRecord(const TraceRecord &r)
         s += strfmt(" to=%llu grant=%llu",
                     static_cast<unsigned long long>(r.a0),
                     static_cast<unsigned long long>(r.a1));
+        break;
+      case TraceEvent::CohDeferDepth:
+        s += strfmt(" depth=%llu",
+                    static_cast<unsigned long long>(r.a0));
+        break;
+      case TraceEvent::CohFwd:
+        s += strfmt(" to=%llu %s inval=%llu",
+                    static_cast<unsigned long long>(r.a0),
+                    reqTypeName(static_cast<ReqType>(r.a1)),
+                    static_cast<unsigned long long>(r.a2));
         break;
       case TraceEvent::LineInstall:
       case TraceEvent::LineDowngrade:

@@ -32,6 +32,8 @@
 #include "harness/sweep.hh"
 #include "harness/system.hh"
 #include "harness/table.hh"
+#include "metrics/collector.hh"
+#include "sim/build_info.hh"
 #include "sim/logging.hh"
 #include "trace/lifecycle.hh"
 #include "workloads/apps.hh"
@@ -55,6 +57,7 @@ struct Options
     bool trace = false;
     std::string traceOut;    // Chrome-trace JSON destination
     bool checkInvariants = false;
+    bool metrics = false;    // latency/contention/traffic profiling
     std::string statsJson;   // JSON counter dump destination
     std::string benchJson;   // per-config host-perf dump destination
     unsigned jobs = 0;       // 0 = hardware concurrency
@@ -92,6 +95,10 @@ usage()
         "  --max-ticks=N       watchdog horizon\n"
         "  --stats[=PREFIX]    dump counters (optionally filtered)\n"
         "  --stats-json=FILE   write all counters as JSON\n"
+        "  --metrics           collect latency histograms, per-lock\n"
+        "                      contention and interconnect traffic;\n"
+        "                      prints tables, extends --stats-json and\n"
+        "                      adds counter tracks to --trace-out\n"
         "  --bench-json=FILE   write per-config wall-clock and\n"
         "                      events/sec as JSON\n"
         "  --trace             emit the event trace on stderr\n"
@@ -220,6 +227,7 @@ buildMachineParams(const Options &o, Scheme scheme, int cpus)
     mp.l1.yieldTimeout = o.yieldTimeout;
     mp.seed = o.seed;
     mp.maxTicks = o.maxTicks;
+    mp.collectMetrics = o.metrics;
     return mp;
 }
 
@@ -297,6 +305,8 @@ runSingle(const Options &o, const std::string &schemeStr, int cpus)
     TxnLifecycle lifecycle;
     if (!o.traceOut.empty())
         sys.addTraceListener(&lifecycle);
+    if (o.metrics && !o.traceOut.empty())
+        sys.metrics()->enableCounterTracks();
     Workload wl = buildWorkload(o, cpus, schemeLockKind(scheme));
     installWorkload(sys, wl);
     installPreemptions(sys, o, cpus);
@@ -339,21 +349,31 @@ runSingle(const Options &o, const std::string &schemeStr, int cpus)
                     s.dump(o.statsPrefix == "all" ? "" : o.statsPrefix)
                         .c_str());
     }
+    if (o.metrics)
+        std::printf("%s", sys.metrics()->snapshot().summary().c_str());
     if (!o.traceOut.empty()) {
         std::ofstream out(o.traceOut);
         if (!out)
             fatal("cannot write trace file '%s'", o.traceOut.c_str());
-        lifecycle.exportChromeTrace(out);
+        std::vector<CounterTrack> tracks;
+        if (o.metrics)
+            tracks = sys.metrics()->counterTracks();
+        lifecycle.exportChromeTrace(out, tracks);
         std::fprintf(stderr,
-                     "wrote %zu transaction spans, %zu instants to %s\n",
+                     "wrote %zu transaction spans, %zu instants, "
+                     "%zu counter tracks to %s\n",
                      lifecycle.spans().size(),
-                     lifecycle.instants().size(), o.traceOut.c_str());
+                     lifecycle.instants().size(), tracks.size(),
+                     o.traceOut.c_str());
     }
     if (!o.statsJson.empty()) {
         std::ofstream out(o.statsJson);
         if (!out)
             fatal("cannot write stats file '%s'", o.statsJson.c_str());
-        out << s.dumpJson();
+        out << s.dumpJson(
+            o.metrics ? "  \"metrics\": " +
+                            sys.metrics()->snapshot().json() :
+                        std::string());
     }
     if (!o.benchJson.empty()) {
         ConfigRow row;
@@ -378,9 +398,13 @@ runSweepMode(const Options &o, const std::vector<std::string> &schemes,
     if (o.trace || !o.traceOut.empty())
         fatal("--trace/--trace-out need a single (scheme, cpus) "
               "config; narrow --scheme/--cpus");
-    if (!o.statsJson.empty() || !o.statsPrefix.empty())
-        fatal("--stats/--stats-json need a single (scheme, cpus) "
-              "config; narrow --scheme/--cpus");
+    if (!o.statsPrefix.empty())
+        fatal("--stats needs a single (scheme, cpus) config; narrow "
+              "--scheme/--cpus");
+    if (!o.statsJson.empty() && !o.metrics)
+        fatal("--stats-json in a sweep requires --metrics (writes the "
+              "per-scheme merged metrics document); narrow "
+              "--scheme/--cpus for a raw counter dump");
 
     std::vector<SweepTask> tasks;
     std::vector<ConfigRow> rows;
@@ -404,6 +428,9 @@ runSweepMode(const Options &o, const std::vector<std::string> &schemes,
                      r.kernelEvents = sys.eventQueue().executed();
                      r.commits = sys.stats().sum("spec", "commits");
                      r.restarts = sys.stats().sum("spec", "restarts");
+                     if (sys.metrics())
+                         r.metrics = std::make_shared<MetricsSnapshot>(
+                             sys.metrics()->snapshot());
                      return r;
                  }});
             ConfigRow row;
@@ -443,6 +470,38 @@ runSweepMode(const Options &o, const std::vector<std::string> &schemes,
             exitCode = 2;
     }
     std::printf("%s", t.str().c_str());
+    if (o.metrics) {
+        // Deterministic shard merge: one snapshot per scheme,
+        // accumulated in the fixed (scheme, cpus) task order, so the
+        // output is independent of host-thread completion order.
+        std::vector<std::pair<std::string, MetricsSnapshot>> merged;
+        for (size_t i = 0; i < res.size(); ++i) {
+            if (!res[i].stats.metrics)
+                continue;
+            if (merged.empty() || merged.back().first != rows[i].schemeStr)
+                merged.emplace_back(rows[i].schemeStr, MetricsSnapshot{});
+            merged.back().second.merge(*res[i].stats.metrics);
+        }
+        for (const auto &[schemeStr, snap] : merged) {
+            std::printf("\n=== scheme %s (all cpu counts merged) ===\n%s",
+                        schemeStr.c_str(), snap.summary().c_str());
+        }
+        if (!o.statsJson.empty()) {
+            std::ofstream out(o.statsJson);
+            if (!out)
+                fatal("cannot write stats file '%s'",
+                      o.statsJson.c_str());
+            out << "{\n  \"schema_version\": " << statsSchemaVersion
+                << ",\n  \"meta\": " << buildMetaJson()
+                << ",\n  \"schemes\": {\n";
+            for (size_t i = 0; i < merged.size(); ++i) {
+                out << "  \"" << merged[i].first
+                    << "\": " << merged[i].second.json()
+                    << (i + 1 < merged.size() ? "," : "") << "\n";
+            }
+            out << "  }\n}\n";
+        }
+    }
     if (!o.benchJson.empty())
         writeBenchJson(o, rows);
     return exitCode;
@@ -489,6 +548,7 @@ main(int argc, char **argv)
                 static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 0));
         else if (std::strcmp(a, "--check-invariants") == 0)
             o.checkInvariants = true;
+        else if (std::strcmp(a, "--metrics") == 0) o.metrics = true;
         else if (std::strcmp(a, "--trace") == 0) o.trace = true;
         else if (std::strcmp(a, "--list") == 0) o.listWorkloads = true;
         else if (std::strcmp(a, "--help") == 0 ||

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * tlrstat — diff two simulator stats dumps.
+ *
+ * Compares two --stats-json (or BENCH_*.json) files, reporting every
+ * numeric key whose value changed and flagging relative deltas above a
+ * threshold. Exit status makes it usable as a CI perf gate:
+ *
+ *   0  compared cleanly, no threshold violations
+ *   1  usage / IO / parse error
+ *   2  schema_version mismatch (refuses to diff)
+ *   3  at least one delta exceeded the threshold
+ *
+ * Usage: tlrstat [options] OLD.json NEW.json
+ *   --threshold=PCT[%]   flag |delta| above PCT percent (default 20)
+ *   --old-prefix=PATH    dotted path to the comparison root in OLD
+ *   --new-prefix=PATH    dotted path to the comparison root in NEW
+ *                        (--old-prefix also sets --new-prefix unless
+ *                        the latter is given explicitly)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "metrics/statdiff.hh"
+#include "sim/json.hh"
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: tlrstat [--threshold=PCT[%%]] [--old-prefix=PATH]\n"
+        "               [--new-prefix=PATH] OLD.json NEW.json\n");
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+bool
+parseDoc(const std::string &path, tlr::JsonValue &out)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        std::fprintf(stderr, "tlrstat: cannot read %s\n", path.c_str());
+        return false;
+    }
+    std::string err;
+    if (!tlr::parseJson(text, out, err)) {
+        std::fprintf(stderr, "tlrstat: %s: %s\n", path.c_str(),
+                     err.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    tlr::DiffOptions opt;
+    bool newPrefixSet = false;
+    std::string oldPath, newPath;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--threshold=", 0) == 0) {
+            std::string v = arg.substr(12);
+            if (!v.empty() && v.back() == '%')
+                v.pop_back();
+            char *end = nullptr;
+            double pct = std::strtod(v.c_str(), &end);
+            if (v.empty() || *end != '\0' || pct < 0) {
+                std::fprintf(stderr, "tlrstat: bad threshold: %s\n",
+                             arg.c_str());
+                return 1;
+            }
+            opt.thresholdPct = pct;
+        } else if (arg.rfind("--old-prefix=", 0) == 0) {
+            opt.oldPrefix = arg.substr(13);
+            if (!newPrefixSet)
+                opt.newPrefix = opt.oldPrefix;
+        } else if (arg.rfind("--new-prefix=", 0) == 0) {
+            opt.newPrefix = arg.substr(13);
+            newPrefixSet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "tlrstat: unknown option: %s\n",
+                         arg.c_str());
+            usage();
+            return 1;
+        } else if (oldPath.empty()) {
+            oldPath = arg;
+        } else if (newPath.empty()) {
+            newPath = arg;
+        } else {
+            usage();
+            return 1;
+        }
+    }
+    if (oldPath.empty() || newPath.empty()) {
+        usage();
+        return 1;
+    }
+
+    tlr::JsonValue oldDoc, newDoc;
+    if (!parseDoc(oldPath, oldDoc) || !parseDoc(newPath, newDoc))
+        return 1;
+
+    tlr::DiffReport rep = tlr::diffStats(oldDoc, newDoc, opt);
+    std::fputs(tlr::renderDiff(rep, opt).c_str(), stdout);
+    if (rep.schemaMismatch)
+        return 2;
+    if (!rep.error.empty())
+        return 1;
+    return rep.exceeded > 0 ? 3 : 0;
+}
