@@ -217,6 +217,23 @@ maybePrintMetricsTable()
     std::printf("%s", t.str().c_str());
 }
 
+/**
+ * Per-config causal-conflict reports, printed when the runs carried
+ * the explainer (TLR_EXPLAIN=1 makes runScheme() attach it; bench
+ * binaries that build MachineParams by hand set mp.explain =
+ * envExplain() themselves). Silent otherwise.
+ */
+inline void
+maybePrintExplainReports()
+{
+    for (const auto &[key, r] : results()) {
+        if (!r.explainReport)
+            continue;
+        std::printf("\n--- %s (TLR_EXPLAIN) ---\n%s", key.c_str(),
+                    r.explainReport->c_str());
+    }
+}
+
 /** Pre-run every registered simulation on @p jobs host threads. */
 inline void
 prewarmRegistry(unsigned jobs)
@@ -264,6 +281,7 @@ benchMain(int argc, char **argv, const std::function<void()> &register_fn,
     benchmark::Shutdown();
     print_fn();
     maybePrintMetricsTable();
+    maybePrintExplainReports();
     return 0;
 }
 

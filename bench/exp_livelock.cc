@@ -40,6 +40,7 @@ runVariant(const std::string &name)
     } else {
         mp.spec = schemeSpecConfig(Scheme::BaseSleTlr);
     }
+    mp.explain = envExplain();
     return runWorkload(mp, makeReverseWriters(2, kIters * envScale()));
 }
 

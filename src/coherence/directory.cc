@@ -48,7 +48,7 @@ DirectoryInterconnect::traceFwd(const BusRequest &req, CpuId dest,
                      req.requester, req.line,
                      static_cast<std::uint64_t>(dest),
                      static_cast<std::uint64_t>(req.type),
-                     inval ? 1 : 0);
+                     inval ? 1 : 0, req.sn);
 }
 
 void

@@ -1006,7 +1006,8 @@ L1Controller::dataResponse(const DataMsg &msg)
 }
 
 void
-L1Controller::serviceWaiter(const Waiter &w, Addr line_addr)
+L1Controller::serviceWaiter(const Waiter &w, Addr line_addr,
+                            ServiceCause cause)
 {
     CacheLine *l = findLine(line_addr);
     if (!l || !isOwnerState(l->state))
@@ -1015,7 +1016,8 @@ L1Controller::serviceWaiter(const Waiter &w, Addr line_addr)
     if (TLR_TRACE_ARMED(trace_))
         trace_->emit(eq_.now(), TraceComp::L1, TraceEvent::CohService,
                      id_, line_addr,
-                     static_cast<std::uint64_t>(w.cpu));
+                     static_cast<std::uint64_t>(w.cpu),
+                     static_cast<std::uint64_t>(cause));
     DataMsg msg;
     msg.line = line_addr;
     msg.data = l->data;
@@ -1170,7 +1172,7 @@ L1Controller::commitTransaction(const WriteBuffer &wb)
     array_.forEachValid([](CacheLine &l) { l.clearAccess(); });
     for (auto &v : victim_.entries())
         v.clearAccess();
-    serviceDeferredQueue();
+    serviceDeferredQueue(/*at_commit=*/true);
 }
 
 void
@@ -1186,20 +1188,22 @@ L1Controller::abortTransaction()
     array_.forEachValid([](CacheLine &l) { l.clearAccess(); });
     for (auto &v : victim_.entries())
         v.clearAccess();
-    serviceDeferredQueue();
+    serviceDeferredQueue(/*at_commit=*/false);
 }
 
 void
-L1Controller::serviceDeferredQueue()
+L1Controller::serviceDeferredQueue(bool at_commit)
 {
     if (!deferred_.empty() && TLR_TRACE_ARMED(trace_))
         trace_->emit(eq_.now(), TraceComp::L1, TraceEvent::CohDeferDrain,
-                     id_, 0, deferred_.size());
+                     id_, 0, deferred_.size(), at_commit ? 1 : 0);
     const bool drained = !deferred_.empty();
     while (!deferred_.empty()) {
         DeferredReq d = deferred_.front();
         deferred_.pop_front();
-        serviceWaiter({d.cpu, d.type, d.ts, false}, d.line);
+        serviceWaiter({d.cpu, d.type, d.ts, false}, d.line,
+                      at_commit ? ServiceCause::CommitDrain
+                                : ServiceCause::AbortDrain);
     }
     if (drained && TLR_TRACE_ARMED(trace_))
         trace_->emit(eq_.now(), TraceComp::L1, TraceEvent::CohDeferDepth,

@@ -175,8 +175,9 @@ class L1Controller : public Snooper
                           SnoopReply &reply);
     void handleOwnerSnoop(CacheLine &line, const BusRequest &req,
                           SnoopReply &reply);
-    void serviceWaiter(const Waiter &w, Addr line_addr);
-    void serviceDeferredQueue();
+    void serviceWaiter(const Waiter &w, Addr line_addr,
+                       ServiceCause cause = ServiceCause::Chain);
+    void serviceDeferredQueue(bool at_commit);
     bool deferredExclusive(Addr line_addr) const;
     void clearLinkIf(Addr line_addr);
     bool conflicts(const BusRequest &req, bool read_set,

@@ -195,6 +195,7 @@ SpecEngine::tryElide(const CoreMemOp &op)
         // (Section 2.1.2).
         instanceActive_ = true;
         retriesUsed_ = 0;
+        lastConflictTs_ = Timestamp{};
         if (cfg_.enableTlr) {
             activeTs_ = Timestamp::make(clock_, id_);
             tsHeld_ = true;
@@ -386,15 +387,18 @@ SpecEngine::doAbort(AbortReason reason, bool resource, Addr line_addr)
     if (TLR_TRACE_ARMED(trace_))
         trace_->emit(eq_.now(), TraceComp::Spec, TraceEvent::TxnRestart,
                      id_, line_addr, static_cast<std::uint64_t>(reason),
-                     resource ? 1 : 0, instanceActive_ ? 0 : 1);
+                     resource ? 1 : 0, instanceActive_ ? 0 : 1,
+                     packTsMeta(lastConflictTs_));
     core_->restoreCheckpoint(checkpoint_);
 }
 
 void
 SpecEngine::noteConflictTs(const Timestamp &ts)
 {
-    if (ts.valid)
+    if (ts.valid) {
         maxConflictClock_ = std::max(maxConflictClock_, ts.clock);
+        lastConflictTs_ = ts;
+    }
 }
 
 void

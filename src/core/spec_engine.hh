@@ -166,6 +166,11 @@ class SpecEngine : public MemPort, public SpecHooks
     Timestamp activeTs_;
     bool tsHeld_ = false;
     std::uint64_t maxConflictClock_ = 0;
+    /** Last conflicting contender seen this instance (trace payload:
+     *  TxnRestart a3 carries its packed meta so the explainer can
+     *  attribute the restart to a specific owner). Invalid until the
+     *  first conflict of the instance. */
+    Timestamp lastConflictTs_;
     /** @} */
 
     unsigned retriesUsed_ = 0;

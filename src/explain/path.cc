@@ -1,0 +1,233 @@
+#include "explain/path.hh"
+
+#include <algorithm>
+
+#include "coherence/l1_controller.hh"
+
+namespace tlr
+{
+
+namespace
+{
+
+/** True when [a,b) lies inside any interval of @p iv. The segment is
+ *  guaranteed homogeneous: every interval endpoint is a boundary. */
+bool
+covered(const std::vector<std::pair<Tick, Tick>> &iv, Tick a, Tick b)
+{
+    for (const auto &[s, e] : iv) {
+        if (s <= a && b <= e)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+CriticalPathAccountant::classify(OpenInstance &o)
+{
+    TxnInstance &t = o.inst;
+    const Tick begin = t.begin, end = t.end;
+    if (end <= begin)
+        return;
+
+    std::vector<std::pair<Tick, Tick>> defer, miss;
+    auto clip = [&](const std::vector<Interval> &src,
+                    std::vector<std::pair<Tick, Tick>> &dst) {
+        for (const Interval &i : src) {
+            Tick s = std::max(i.start, begin);
+            Tick e = std::min(i.end, end);
+            if (s < e)
+                dst.emplace_back(s, e);
+        }
+    };
+    clip(o.defer, defer);
+    clip(o.miss, miss);
+
+    std::vector<Tick> bounds{begin, end};
+    for (const auto &[s, e] : defer) {
+        bounds.push_back(s);
+        bounds.push_back(e);
+    }
+    for (const auto &[s, e] : miss) {
+        bounds.push_back(s);
+        bounds.push_back(e);
+    }
+    const Tick lastRestart =
+        std::min(std::max(o.lastRestartTick, begin), end);
+    if (t.restarts > 0)
+        bounds.push_back(lastRestart);
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+    for (size_t i = 0; i + 1 < bounds.size(); ++i) {
+        const Tick a = bounds[i], b = bounds[i + 1];
+        if (covered(defer, a, b))
+            t.deferTicks += b - a;
+        else if (covered(miss, a, b))
+            t.missTicks += b - a;
+        else if (t.restarts > 0 && b <= lastRestart)
+            t.redoTicks += b - a;
+        else
+            t.execTicks += b - a;
+    }
+
+    // Longest single deferral → the causal-chain hop for this txn.
+    for (const auto &[iv, who] : o.deferDetail) {
+        Tick s = std::max(iv.start, begin);
+        Tick e = std::min(iv.end, end);
+        if (s >= e)
+            continue;
+        if (e - s > t.longestDeferSpan) {
+            t.longestDeferSpan = e - s;
+            t.longestDeferOwner = who.first;
+            t.longestDeferLine = who.second;
+            t.longestDeferTick = s;
+        }
+    }
+}
+
+void
+CriticalPathAccountant::closeInstance(std::int16_t cpu, Tick end,
+                                      std::string outcome)
+{
+    auto it = open_.find(cpu);
+    if (it == open_.end())
+        return;
+    OpenInstance &o = it->second;
+
+    // Attribute still-open wait intervals up to the close tick.
+    for (auto dit = deferOpen_.begin(); dit != deferOpen_.end();) {
+        if (dit->first.first == cpu) {
+            o.defer.push_back({dit->second.first, end});
+            o.deferDetail.push_back(
+                {{dit->second.first, end},
+                 {dit->second.second, dit->first.second}});
+            dit = deferOpen_.erase(dit);
+        } else {
+            ++dit;
+        }
+    }
+    for (auto mit = missOpen_.begin(); mit != missOpen_.end();) {
+        if (mit->first.first == cpu) {
+            o.miss.push_back({mit->second, end});
+            mit = missOpen_.erase(mit);
+        } else {
+            ++mit;
+        }
+    }
+
+    o.inst.end = end;
+    o.inst.outcome = std::move(outcome);
+    classify(o);
+    byCpu_[cpu].push_back(instances_.size());
+    instances_.push_back(o.inst);
+    open_.erase(it);
+}
+
+void
+CriticalPathAccountant::onRecord(const TraceRecord &r)
+{
+    switch (r.kind) {
+      case TraceEvent::TxnElide: {
+        if (r.a3 == 0)
+            return; // re-elision inside an open instance
+        closeInstance(r.cpu, r.tick, "unfinished");
+        OpenInstance o;
+        o.inst.serial = nextSerial_++;
+        o.inst.cpu = r.cpu;
+        o.inst.lock = r.addr;
+        o.inst.begin = r.tick;
+        open_[r.cpu] = std::move(o);
+        return;
+      }
+      case TraceEvent::TxnRestart: {
+        auto it = open_.find(r.cpu);
+        if (it != open_.end()) {
+            ++it->second.inst.restarts;
+            it->second.lastRestartTick = r.tick;
+            Timestamp winner = unpackTs(0, r.a3);
+            it->second.inst.lastRestartWinner =
+                winner.valid ? winner.cpu : std::int16_t{-1};
+        }
+        if (r.a2 != 0) {
+            closeInstance(
+                r.cpu, r.tick,
+                std::string("fallback:") +
+                    abortReasonName(static_cast<AbortReason>(r.a0)));
+        }
+        return;
+      }
+      case TraceEvent::TxnCommit:
+        closeInstance(r.cpu, r.tick, "commit");
+        return;
+      case TraceEvent::TxnQuantumEnd:
+        closeInstance(r.cpu, r.tick, "quantum-end");
+        return;
+      case TraceEvent::CohDefer:
+      case TraceEvent::CohRelaxedDefer: {
+        auto waiter = static_cast<std::int16_t>(r.a0);
+        deferOpen_[{waiter, r.addr}] = {r.tick, r.cpu};
+        return;
+      }
+      case TraceEvent::CohService: {
+        auto waiter = static_cast<std::int16_t>(r.a0);
+        auto dit = deferOpen_.find({waiter, r.addr});
+        if (dit == deferOpen_.end())
+            return;
+        auto oit = open_.find(waiter);
+        if (oit != open_.end()) {
+            oit->second.defer.push_back({dit->second.first, r.tick});
+            oit->second.deferDetail.push_back(
+                {{dit->second.first, r.tick},
+                 {dit->second.second, r.addr}});
+        }
+        deferOpen_.erase(dit);
+        return;
+      }
+      case TraceEvent::CohMiss:
+        missOpen_[{r.cpu, r.addr}] = r.tick;
+        return;
+      case TraceEvent::LineInstall: {
+        auto mit = missOpen_.find({r.cpu, r.addr});
+        if (mit == missOpen_.end())
+            return;
+        auto oit = open_.find(r.cpu);
+        if (oit != open_.end())
+            oit->second.miss.push_back({mit->second, r.tick});
+        missOpen_.erase(mit);
+        return;
+      }
+      default:
+        return;
+    }
+}
+
+void
+CriticalPathAccountant::finish(Tick now)
+{
+    while (!open_.empty())
+        closeInstance(open_.begin()->first, now, "unfinished");
+}
+
+const TxnInstance *
+CriticalPathAccountant::instanceAt(std::int16_t cpu, Tick tick) const
+{
+    auto it = byCpu_.find(cpu);
+    if (it == byCpu_.end())
+        return nullptr;
+    const std::vector<size_t> &idx = it->second;
+    // Last instance with begin <= tick (instances on one cpu are
+    // chronological and non-overlapping).
+    auto pos = std::upper_bound(
+        idx.begin(), idx.end(), tick, [this](Tick t, size_t i) {
+            return t < instances_[i].begin;
+        });
+    if (pos == idx.begin())
+        return nullptr;
+    const TxnInstance &cand = instances_[*(pos - 1)];
+    return (tick <= cand.end) ? &cand : nullptr;
+}
+
+} // namespace tlr

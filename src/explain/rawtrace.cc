@@ -1,0 +1,110 @@
+#include "explain/rawtrace.hh"
+
+#include <cstring>
+
+namespace tlr
+{
+
+std::string
+RawTraceWriter::open(const std::string &path)
+{
+    close();
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        return "cannot open '" + path + "' for writing";
+    header_ = RawTraceHeader{};
+    if (std::fwrite(&header_, sizeof(header_), 1, file_) != 1) {
+        close();
+        return "cannot write header to '" + path + "'";
+    }
+    return "";
+}
+
+void
+RawTraceWriter::onRecord(const TraceRecord &r)
+{
+    if (!file_)
+        return;
+    if (!filter_.empty() && !filter_.matches(r))
+        return;
+    if (std::fwrite(&r, sizeof(r), 1, file_) == 1)
+        ++header_.recordCount;
+}
+
+void
+RawTraceWriter::finish(Tick now)
+{
+    if (!file_)
+        return;
+    header_.finalTick = now;
+    std::fseek(file_, 0, SEEK_SET);
+    std::fwrite(&header_, sizeof(header_), 1, file_);
+    std::fflush(file_);
+    // Leave the file open so a second finish() (defensive) still has
+    // somewhere to patch; close() runs from the destructor.
+}
+
+void
+RawTraceWriter::close()
+{
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+std::string
+RawTraceReader::open(const std::string &path)
+{
+    close();
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_)
+        return "cannot open '" + path + "'";
+    if (std::fread(&header_, sizeof(header_), 1, file_) != 1) {
+        close();
+        return "'" + path + "' is too short for a trace header";
+    }
+    static const char magic[8] = {'T', 'L', 'R', 'T', 'R', 'A', 'C', 'E'};
+    if (std::memcmp(header_.magic, magic, sizeof(magic)) != 0) {
+        close();
+        return "'" + path + "' is not a TLR raw trace (bad magic)";
+    }
+    if (header_.version != 1) {
+        close();
+        return "'" + path + "' has unsupported trace version " +
+               std::to_string(header_.version);
+    }
+    if (header_.recordSize != sizeof(TraceRecord)) {
+        close();
+        return "'" + path + "' was written with record size " +
+               std::to_string(header_.recordSize) + ", expected " +
+               std::to_string(sizeof(TraceRecord));
+    }
+    return "";
+}
+
+void
+RawTraceReader::close()
+{
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+void
+RawTraceReader::forEach(const std::function<void(const TraceRecord &)> &fn)
+{
+    if (!file_)
+        return;
+    std::fseek(file_, sizeof(RawTraceHeader), SEEK_SET);
+    TraceRecord r;
+    std::uint64_t n = 0;
+    while (n < header_.recordCount &&
+           std::fread(&r, sizeof(r), 1, file_) == 1) {
+        fn(r);
+        ++n;
+    }
+}
+
+} // namespace tlr

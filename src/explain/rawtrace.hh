@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Binary on-disk trace format (tlrsim --trace-raw, tlrquery input).
+ *
+ * Layout: a 32-byte versioned header followed by recordCount
+ * TraceRecords written verbatim (64 bytes each, host endianness).
+ * recordCount and finalTick are back-patched when the run finishes, so
+ * a truncated file (crash mid-run) is detectable: its header count
+ * stays 0 while the file holds records.
+ *
+ *   offset  size  field
+ *        0     8  magic "TLRTRACE"
+ *        8     4  version (currently 1)
+ *       12     4  recordSize (sizeof(TraceRecord) == 64)
+ *       16     8  recordCount
+ *       24     8  finalTick (tick passed to TraceSink::finish)
+ *
+ * The writer is a TraceListener, so recording obeys the same
+ * zero-overhead-off contract as every other trace consumer; an
+ * optional TraceFilter thins the stream before it hits the disk.
+ * The reader replays records through any TraceListener (explain
+ * pipeline, lifecycle tracker) to reproduce online analyses offline.
+ */
+
+#ifndef TLR_EXPLAIN_RAWTRACE_HH
+#define TLR_EXPLAIN_RAWTRACE_HH
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "trace/filter.hh"
+#include "trace/sink.hh"
+
+namespace tlr
+{
+
+struct RawTraceHeader
+{
+    char magic[8] = {'T', 'L', 'R', 'T', 'R', 'A', 'C', 'E'};
+    std::uint32_t version = 1;
+    std::uint32_t recordSize = sizeof(TraceRecord);
+    std::uint64_t recordCount = 0;
+    std::uint64_t finalTick = 0;
+};
+
+static_assert(sizeof(RawTraceHeader) == 32, "header layout is the ABI");
+
+class RawTraceWriter : public TraceListener
+{
+  public:
+    RawTraceWriter() = default;
+    ~RawTraceWriter() override { close(); }
+    RawTraceWriter(const RawTraceWriter &) = delete;
+    RawTraceWriter &operator=(const RawTraceWriter &) = delete;
+
+    /** @return empty string on success, else an error description. */
+    std::string open(const std::string &path);
+
+    /** Record only events matching @p f (copied; empty = everything). */
+    void setFilter(const TraceFilter &f) { filter_ = f; }
+
+    void onRecord(const TraceRecord &r) override;
+    /** Back-patches the header and closes the file. */
+    void finish(Tick now) override;
+    void close();
+
+    std::uint64_t written() const { return header_.recordCount; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    RawTraceHeader header_;
+    TraceFilter filter_;
+};
+
+class RawTraceReader
+{
+  public:
+    ~RawTraceReader() { close(); }
+
+    /** @return empty string on success, else an error description
+     *         (missing file, bad magic, version/record-size skew). */
+    std::string open(const std::string &path);
+    void close();
+
+    const RawTraceHeader &header() const { return header_; }
+
+    /** Stream every record through @p fn in file order. */
+    void forEach(const std::function<void(const TraceRecord &)> &fn);
+
+    /** Feed the whole file to a listener, then its finish() with the
+     *  recorded finalTick — the offline mirror of a live run. */
+    void
+    replay(TraceListener &l)
+    {
+        forEach([&](const TraceRecord &r) { l.onRecord(r); });
+        l.finish(header_.finalTick);
+    }
+
+  private:
+    std::FILE *file_ = nullptr;
+    RawTraceHeader header_;
+};
+
+} // namespace tlr
+
+#endif // TLR_EXPLAIN_RAWTRACE_HH

@@ -38,6 +38,9 @@ runWorkload(const MachineParams &mp, const Workload &wl)
     if (sys.metrics())
         r.metrics = std::make_shared<MetricsSnapshot>(
             sys.metrics()->snapshot());
+    if (sys.explainer())
+        r.explainReport = std::make_shared<std::string>(
+            sys.explainer()->report(ExplainMode::Txn));
     return r;
 }
 
@@ -49,6 +52,7 @@ runScheme(Scheme scheme, int num_cpus, const Workload &wl, Tick max_ticks)
     mp.spec = schemeSpecConfig(scheme);
     mp.maxTicks = max_ticks;
     mp.collectMetrics = envMetrics();
+    mp.explain = envExplain();
     return runWorkload(mp, wl);
 }
 
@@ -66,6 +70,13 @@ bool
 envMetrics()
 {
     const char *s = std::getenv("TLR_METRICS");
+    return s && *s && std::string(s) != "0";
+}
+
+bool
+envExplain()
+{
+    const char *s = std::getenv("TLR_EXPLAIN");
     return s && *s && std::string(s) != "0";
 }
 

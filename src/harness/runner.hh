@@ -43,6 +43,10 @@ struct RunStats
      *  interconnect traffic); null unless MachineParams::collectMetrics
      *  was set. Shared so RunStats stays cheaply copyable in sweeps. */
     std::shared_ptr<const MetricsSnapshot> metrics;
+    /** Causal-conflict report (explain subsystem); null unless
+     *  MachineParams::explain was set. Shared for the same reason as
+     *  metrics: RunStats must stay cheaply copyable in sweeps. */
+    std::shared_ptr<const std::string> explainReport;
     /** @} */
 
     /** Host-side: kernel events the run executed (events/sec metric;
@@ -78,6 +82,11 @@ std::uint64_t envScale();
  *  runScheme() then attaches a MetricsCollector to every run so bench
  *  and figure binaries print latency/contention digests. */
 bool envMetrics();
+
+/** True when TLR_EXPLAIN is set non-zero: runScheme() then attaches
+ *  the causal-conflict explainer and RunStats::explainReport carries
+ *  the rendered top-K report (bench binaries print it). */
+bool envExplain();
 
 } // namespace tlr
 

@@ -36,6 +36,10 @@ System::System(const MachineParams &params)
         metrics_ = std::make_unique<MetricsCollector>();
         trace_.addListener(metrics_.get());
     }
+    if (params.explain) {
+        explain_ = std::make_unique<Explainer>(params.explainTopK);
+        trace_.addListener(explain_.get());
+    }
     net_->setTrace(&trace_);
     Rng root(params.seed);
     for (int i = 0; i < params.numCpus; ++i) {

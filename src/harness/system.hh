@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "coherence/directory.hh"
+#include "explain/explain.hh"
 #include "coherence/interconnect.hh"
 #include "coherence/l1_controller.hh"
 #include "coherence/memory_controller.hh"
@@ -52,6 +53,13 @@ struct MachineParams
      *  listeners the sink stays disarmed and the hot path is a single
      *  predictable branch. */
     bool collectMetrics = false;
+    /** Attach a causal-conflict Explainer (wait-for graph +
+     *  critical-path accountant) to the trace sink. Same contract as
+     *  collectMetrics: arms the sink, never perturbs simulated
+     *  cycles, off by default. */
+    bool explain = false;
+    /** Transactions listed in the explain report (--explain top-K). */
+    unsigned explainTopK = 10;
     std::uint64_t seed = 12345;
     Tick maxTicks = 2'000'000'000ull; ///< watchdog for livelock studies
 };
@@ -75,6 +83,8 @@ class System
     TraceSink &traceSink() { return trace_; }
     /** The attached metrics collector; null unless collectMetrics. */
     MetricsCollector *metrics() { return metrics_.get(); }
+    /** The attached explainer; null unless MachineParams::explain. */
+    Explainer *explainer() { return explain_.get(); }
 
     /** Attach an event-stream consumer (lifecycle tracker, custom
      *  checker). The sink arms itself on first listener. */
@@ -108,6 +118,7 @@ class System
     TraceSink trace_; ///< before net_/l1s_: they capture its address
     std::unique_ptr<InvariantRegistry> checkers_;
     std::unique_ptr<MetricsCollector> metrics_;
+    std::unique_ptr<Explainer> explain_;
     std::unique_ptr<Interconnect> net_;
     MemoryController mem_;
     std::vector<std::unique_ptr<SpecEngine>> engines_;

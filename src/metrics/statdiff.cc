@@ -140,9 +140,17 @@ renderDiff(const DiffReport &rep, const DiffOptions &opt)
 {
     std::string out;
     if (rep.schemaMismatch) {
-        out += strfmt("schema mismatch: old=%ld new=%ld "
+        auto schemaStr = [](long v) {
+            return v < 0 ? std::string("none (legacy)")
+                         : std::to_string(v);
+        };
+        out += strfmt("schema mismatch: %s has schema_version %s, "
+                      "%s has schema_version %s "
                       "(refusing to diff across schema versions)\n",
-                      rep.oldSchema, rep.newSchema);
+                      opt.oldName.c_str(),
+                      schemaStr(rep.oldSchema).c_str(),
+                      opt.newName.c_str(),
+                      schemaStr(rep.newSchema).c_str());
         return out;
     }
     if (!rep.error.empty()) {

@@ -28,6 +28,11 @@ struct DiffOptions
      *  multi-config bench dump, e.g. --old-prefix=current. */
     std::string oldPrefix;
     std::string newPrefix;
+    /** Display names for the two inputs (tlrstat passes the file
+     *  paths) so refusal/error messages can say which file carries
+     *  which schema version. */
+    std::string oldName = "old";
+    std::string newName = "new";
 };
 
 struct DiffRow

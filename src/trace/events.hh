@@ -48,7 +48,10 @@ enum class TraceEvent : std::uint8_t
                     ///< overflowing line (0 when none applies),
                     ///< a0=AbortReason, a1=1 if resource, a2=1 if
                     ///< instance ended (fallback to real lock
-                    ///< acquisition)
+                    ///< acquisition), a3=ts meta of the last
+                    ///< conflicting contender (packTsMeta; the winner
+                    ///< that caused a conflict abort — invalid when no
+                    ///< conflict was noted this instance)
     TxnCommitStart, ///< all misses drained, atomic commit begins
     TxnCommit,      ///< commit done; a0=lines written, a1=ts clock
     TxnQuantumEnd,  ///< instance ended by the scheduling-quantum bound
@@ -75,8 +78,11 @@ enum class TraceEvent : std::uint8_t
     CohYield,       ///< deadlock-recovery yield (timer or 2-cycle);
                     ///< addr=line
     CohService,     ///< one waiter/deferred request serviced;
-                    ///< addr=line, a0=serviced cpu
-    CohDeferDrain,  ///< deferred queue drained at commit/abort
+                    ///< addr=line, a0=serviced cpu,
+                    ///< a1=ServiceCause (why the owner let go)
+    CohDeferDrain,  ///< deferred queue drained at commit/abort;
+                    ///< a0=queue entries drained, a1=1 when the drain
+                    ///< happens on the commit path, 0 on abort
     CohMarker,      ///< marker sent; addr=line, a0=destination cpu
     CohProbe,       ///< probe sent; addr=line, a0=destination cpu,
                     ///< a1=ts clock, a2=ts meta
@@ -85,7 +91,8 @@ enum class TraceEvent : std::uint8_t
                     ///< (deferred queue + deferred chain waiters) —
                     ///< sampled by the metrics layer as a counter track
     CohFwd,         ///< directory forwarded a snoop; addr=line,
-                    ///< a0=target cpu, a1=ReqType, a2=1 if invalidation
+                    ///< a0=target cpu, a1=ReqType, a2=1 if invalidation,
+                    ///< a3=global order sn of the triggering request
                     ///< (comp=Dir, cpu=requester)
     /** @} */
 
@@ -103,6 +110,16 @@ enum class TraceEvent : std::uint8_t
 };
 
 const char *traceEventName(TraceEvent e);
+
+/** Why an owner released a deferred/waiting request (CohService a1). */
+enum class ServiceCause : std::uint8_t
+{
+    Chain,       ///< ownership-chain handoff outside any drain
+    CommitDrain, ///< deferred queue drained after an atomic commit
+    AbortDrain,  ///< deferred queue drained after a restart/abort
+};
+
+const char *serviceCauseName(ServiceCause c);
 
 /** One binary trace record. Fixed 64-byte layout, no heap. */
 struct TraceRecord

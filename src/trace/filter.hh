@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Record-level trace filter.
+ *
+ * Parses a comma-separated filter specification —
+ *
+ *   cpu:3,class:Coh,kind:defer,comp:L1,addr:0x40,tick:100-5000
+ *
+ * — into a predicate over TraceRecords. Repeating a key ORs its
+ * values; distinct keys AND together. Used by `tlrsim
+ * --trace-filter=...` to thin the raw-trace file on large runs and by
+ * `tlrquery --filter=...` for offline queries, so both tools accept
+ * the exact same syntax.
+ */
+
+#ifndef TLR_TRACE_FILTER_HH
+#define TLR_TRACE_FILTER_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/events.hh"
+
+namespace tlr
+{
+
+/** Event-name prefix groups selectable with `class:`. */
+enum class TraceClass : std::uint8_t
+{
+    Txn,  ///< transaction lifecycle (TxnElide .. TxnWrite)
+    Coh,  ///< coherence activity (CohMiss .. CohFwd)
+    Line, ///< line-ownership transitions (LineInstall .. LineInval)
+    Mem,  ///< committed non-speculative writes (MemWrite)
+};
+
+TraceClass traceClassOf(TraceEvent e);
+const char *traceClassName(TraceClass c);
+
+struct TraceFilter
+{
+    /** Empty vector = wildcard for that key. */
+    std::vector<std::int16_t> cpus;
+    std::vector<TraceComp> comps;
+    std::vector<TraceEvent> kinds;
+    std::vector<TraceClass> classes;
+    std::vector<Addr> addrs;
+    Tick tickLo = 0;
+    Tick tickHi = ~static_cast<Tick>(0);
+
+    bool
+    empty() const
+    {
+        return cpus.empty() && comps.empty() && kinds.empty() &&
+               classes.empty() && addrs.empty() && tickLo == 0 &&
+               tickHi == ~static_cast<Tick>(0);
+    }
+
+    bool matches(const TraceRecord &r) const;
+
+    /**
+     * Parse @p spec into this filter (merging with any keys already
+     * set, so a CLI can stack several --filter flags).
+     * @return empty string on success, else a description of the
+     *         first offending term.
+     */
+    std::string parse(const std::string &spec);
+};
+
+} // namespace tlr
+
+#endif // TLR_TRACE_FILTER_HH

@@ -15,7 +15,9 @@ TxnLifecycle::closeSpan(CpuId cpu, Tick end, std::string outcome)
     auto it = open_.find(cpu);
     if (it == open_.end())
         return;
-    it->second.end = end;
+    // Clamp: a span must never extend past its close tick or run
+    // backwards — Perfetto rejects traces with negative durations.
+    it->second.end = std::max(end, it->second.begin);
     it->second.outcome = std::move(outcome);
     spans_.push_back(it->second);
     open_.erase(it);
@@ -122,7 +124,8 @@ outcomeColor(const std::string &outcome)
 
 void
 TxnLifecycle::exportChromeTrace(std::ostream &os,
-                                const std::vector<CounterTrack> &counters)
+                                const std::vector<CounterTrack> &counters,
+                                const std::vector<FlowArrow> &flows)
     const
 {
     // Durations use "X" complete events; markers use "i" instants.
@@ -176,6 +179,25 @@ TxnLifecycle::exportChromeTrace(std::ostream &os,
                      i.cpu, i.name.c_str(),
                      static_cast<unsigned long long>(i.tick),
                      i.detail.c_str());
+    }
+
+    // Causal flow arrows: an "s" (start) / "f" (finish) pair with a
+    // shared id draws an arrow between the two rows; "bp":"e" binds
+    // the endpoint to the enclosing slice rather than the next one.
+    for (size_t fi = 0; fi < flows.size(); ++fi) {
+        const FlowArrow &f = flows[fi];
+        sep();
+        os << strfmt("{\"ph\":\"s\",\"pid\":0,\"tid\":%d,"
+                     "\"cat\":\"dep\",\"name\":\"%s\",\"id\":%zu,"
+                     "\"ts\":%llu}",
+                     f.fromCpu, f.name.c_str(), fi,
+                     static_cast<unsigned long long>(f.fromTick));
+        sep();
+        os << strfmt("{\"ph\":\"f\",\"pid\":0,\"tid\":%d,"
+                     "\"cat\":\"dep\",\"name\":\"%s\",\"id\":%zu,"
+                     "\"bp\":\"e\",\"ts\":%llu}",
+                     f.toCpu, f.name.c_str(), fi,
+                     static_cast<unsigned long long>(f.toTick));
     }
 
     // Counter tracks render as per-name value graphs in Perfetto.

@@ -35,6 +35,19 @@ struct CounterTrack
     std::vector<std::pair<Tick, std::uint64_t>> samples;
 };
 
+/** One causal flow arrow for the Chrome-trace export: drawn from
+ *  (fromCpu row, fromTick) to (toCpu row, toTick) as an "s"/"f" flow
+ *  event pair (the explain subsystem supplies deferral arrows —
+ *  owner at the defer tick → waiter at the service tick). */
+struct FlowArrow
+{
+    CpuId fromCpu = invalidCpu;
+    Tick fromTick = 0;
+    CpuId toCpu = invalidCpu;
+    Tick toTick = 0;
+    std::string name;
+};
+
 class TxnLifecycle : public TraceListener
 {
   public:
@@ -69,10 +82,12 @@ class TxnLifecycle : public TraceListener
     const std::vector<Instant> &instants() const { return instants_; }
 
     /** Write the whole run as Chrome trace-event JSON, optionally
-     *  appending @p counters as Perfetto counter tracks. */
+     *  appending @p counters as Perfetto counter tracks and @p flows
+     *  as causal flow arrows between cpu rows. */
     void exportChromeTrace(std::ostream &os,
-                           const std::vector<CounterTrack> &counters =
-                               {}) const;
+                           const std::vector<CounterTrack> &counters = {},
+                           const std::vector<FlowArrow> &flows = {})
+        const;
 
   private:
     void closeSpan(CpuId cpu, Tick end, std::string outcome);

@@ -56,6 +56,17 @@ traceEventName(TraceEvent e)
     return "?";
 }
 
+const char *
+serviceCauseName(ServiceCause c)
+{
+    switch (c) {
+      case ServiceCause::Chain: return "chain";
+      case ServiceCause::CommitDrain: return "commit-drain";
+      case ServiceCause::AbortDrain: return "abort-drain";
+    }
+    return "?";
+}
+
 std::string
 formatRecord(const TraceRecord &r)
 {
@@ -77,6 +88,8 @@ formatRecord(const TraceRecord &r)
                     abortReasonName(static_cast<AbortReason>(r.a0)),
                     static_cast<unsigned long long>(r.a1),
                     static_cast<unsigned long long>(r.a2));
+        if (unpackTs(0, r.a3).valid)
+            s += strfmt(" loser-to-cpu%d", unpackTs(0, r.a3).cpu);
         break;
       case TraceEvent::TxnCommit:
         s += strfmt(" lines=%llu clock=%llu",
@@ -116,8 +129,17 @@ formatRecord(const TraceRecord &r)
                     unpackTs(r.a2, r.a3).str().c_str());
         break;
       case TraceEvent::CohService:
+        s += strfmt(" to=%llu cause=%s",
+                    static_cast<unsigned long long>(r.a0),
+                    serviceCauseName(static_cast<ServiceCause>(r.a1)));
+        break;
       case TraceEvent::CohMarker:
         s += strfmt(" to=%llu", static_cast<unsigned long long>(r.a0));
+        break;
+      case TraceEvent::CohDeferDrain:
+        s += strfmt(" n=%llu at=%s",
+                    static_cast<unsigned long long>(r.a0),
+                    r.a1 ? "commit" : "abort");
         break;
       case TraceEvent::CohProbe:
         s += strfmt(" to=%llu %s",
@@ -134,10 +156,11 @@ formatRecord(const TraceRecord &r)
                     static_cast<unsigned long long>(r.a0));
         break;
       case TraceEvent::CohFwd:
-        s += strfmt(" to=%llu %s inval=%llu",
+        s += strfmt(" to=%llu %s inval=%llu sn=%llu",
                     static_cast<unsigned long long>(r.a0),
                     reqTypeName(static_cast<ReqType>(r.a1)),
-                    static_cast<unsigned long long>(r.a2));
+                    static_cast<unsigned long long>(r.a2),
+                    static_cast<unsigned long long>(r.a3));
         break;
       case TraceEvent::LineInstall:
       case TraceEvent::LineDowngrade:

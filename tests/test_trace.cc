@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "trace/ring.hh"
 #include "trace/sink.hh"
 #include "workloads/micro.hh"
+#include "workloads/scenarios.hh"
 
 using namespace tlr;
 
@@ -453,4 +455,102 @@ TEST(InvariantCheckers, DisabledTracingEmitsNothing)
     EXPECT_TRUE(r.completed);
     EXPECT_EQ(r.traceRecords, 0u);
     EXPECT_EQ(r.invariantViolations, 0u);
+}
+
+// ---------------------------------------------------------------------
+// CohDeferDepth bookkeeping across both drain paths. The deferred
+// queue must drain on abort exactly as on commit (paper Section 4:
+// a restarting processor cannot sit on deferred requests), and the
+// advertised depth must shrink at every drain and end the run at 0.
+
+namespace
+{
+
+struct DeferDepthProbe : TraceListener
+{
+    std::map<std::int16_t, std::uint64_t> depth; ///< latest per cpu
+    std::uint64_t commitDrains = 0;
+    std::uint64_t abortDrains = 0;
+    std::uint64_t growViolations = 0; ///< post-drain depth grew
+    /** cpu → depth seen just before its pending drain. */
+    std::map<std::int16_t, std::uint64_t> drainPending;
+
+    void
+    onRecord(const TraceRecord &r) override
+    {
+        if (r.kind == TraceEvent::CohDeferDrain) {
+            if (r.a1)
+                ++commitDrains;
+            else
+                ++abortDrains;
+            drainPending[r.cpu] = depth[r.cpu];
+        } else if (r.kind == TraceEvent::CohDeferDepth) {
+            auto it = drainPending.find(r.cpu);
+            if (it != drainPending.end()) {
+                if (r.a0 > it->second)
+                    ++growViolations;
+                drainPending.erase(it);
+            }
+            depth[r.cpu] = r.a0;
+        }
+    }
+    void finish(Tick) override {}
+};
+
+} // namespace
+
+TEST(DeferDepth, DrainsOnAbortAndReturnsToZero)
+{
+    MachineParams mp;
+    mp.numCpus = 4;
+    mp.spec = schemeSpecConfig(Scheme::BaseSleTlr);
+
+    System sys(mp);
+    DeferDepthProbe probe;
+    sys.addTraceListener(&probe);
+    installWorkload(sys, makeReverseWriters(4, 256));
+    ASSERT_TRUE(sys.run());
+
+    // The Figures 2/4 conflict pattern aborts transactions that hold
+    // deferred requests, so both drain causes must appear.
+    EXPECT_GE(probe.abortDrains, 1u);
+    EXPECT_GE(probe.commitDrains, 1u);
+    // A drain never leaves the queue deeper than it found it.
+    EXPECT_EQ(probe.growViolations, 0u);
+    // Every controller ends the run with an empty deferral backlog.
+    EXPECT_FALSE(probe.depth.empty());
+    for (const auto &[cpu, d] : probe.depth)
+        EXPECT_EQ(d, 0u) << "cpu" << cpu;
+}
+
+// ---------------------------------------------------------------------
+// Transactions still in flight when the run is cut off (watchdog)
+// must export as spans ending at the final tick, never past it and
+// never with end < begin (Perfetto renders those as negative
+// durations).
+
+TEST(TxnLifecycle, WatchdogTruncatedRunClosesSpansAtFinalTick)
+{
+    MachineParams mp;
+    mp.numCpus = 4;
+    mp.spec = schemeSpecConfig(Scheme::BaseSleTlr);
+    mp.maxTicks = 20'000; // cut the run off mid-flight
+
+    System sys(mp);
+    TxnLifecycle lc;
+    sys.addTraceListener(&lc);
+    installWorkload(sys, makeReverseWriters(4, 1'000'000));
+    EXPECT_FALSE(sys.run()); // watchdog fired
+
+    ASSERT_GT(lc.spans().size(), 0u);
+    // completionTick() stays 0 on a watchdog abort; the final tick the
+    // sink sees is bounded by the watchdog budget itself.
+    bool sawUnfinished = false;
+    for (const auto &s : lc.spans()) {
+        EXPECT_LE(s.begin, s.end);
+        EXPECT_LE(s.end, mp.maxTicks);
+        if (s.outcome == "unfinished")
+            sawUnfinished = true;
+    }
+    EXPECT_TRUE(sawUnfinished);
 }

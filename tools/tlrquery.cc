@@ -1,0 +1,288 @@
+/**
+ * @file
+ * tlrquery — query and explain on-disk binary traces.
+ *
+ * Reads the versioned raw-trace files tlrsim records with
+ * `--trace-raw=FILE` and either prints/aggregates matching records or
+ * replays them through the same explain pipeline tlrsim runs online:
+ *
+ *   tlrquery trace.bin                          # print every record
+ *   tlrquery --filter=cpu:3,class:Coh trace.bin # filtered
+ *   tlrquery --count=kind trace.bin             # histogram by kind
+ *   tlrquery --explain trace.bin                # offline causal report
+ *   tlrquery --header trace.bin                 # header only
+ *
+ * Filters use the exact syntax of tlrsim --trace-filter; the
+ * shorthands --cpu/--kind/--class/--lock/--tick merge into the same
+ * filter. Output is deterministic: the same file and flags always
+ * produce byte-identical output (CI relies on this). Exit status is 0
+ * on success, 1 on any usage or file error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "explain/explain.hh"
+#include "explain/rawtrace.hh"
+#include "sim/logging.hh"
+#include "trace/filter.hh"
+#include "trace/lifecycle.hh"
+
+using namespace tlr;
+
+namespace
+{
+
+struct Options
+{
+    std::string file;
+    std::string filterSpec;
+    bool header = false;
+    std::string countKey;  // cpu | kind | class | lock | comp
+    bool count = false;
+    bool explainOn = false;
+    std::string explainMode; // txn | lock | cpu
+    std::string explainDot;
+    std::string explainJson;
+    std::string out;       // output destination ("" = stdout)
+    std::uint64_t limit = 0; // 0 = unlimited
+};
+
+void
+usage()
+{
+    std::printf(
+        "tlrquery — query tlrsim --trace-raw binary traces\n\n"
+        "  tlrquery [flags] FILE\n\n"
+        "  --header            print the file header and exit\n"
+        "  --filter=SPEC       cpu:N,comp:C,kind:K,class:G,addr:A,\n"
+        "                      tick:LO-HI (repeat keys to OR,\n"
+        "                      distinct keys AND; same syntax as\n"
+        "                      tlrsim --trace-filter)\n"
+        "  --cpu=N --kind=K --class=G --lock=A --tick=LO-HI\n"
+        "                      shorthands merged into --filter\n"
+        "  --count[=KEY]       aggregate matching records by KEY =\n"
+        "                      kind (default) | cpu | class | lock |\n"
+        "                      comp\n"
+        "  --limit=N           print at most N records\n"
+        "  --explain[=MODE]    replay matching records through the\n"
+        "                      causal explainer; MODE = txn | lock |\n"
+        "                      cpu\n"
+        "  --explain-dot=FILE  write the conflict graph as DOT\n"
+        "  --explain-json=FILE write the explain document as JSON\n"
+        "  --out=FILE          write output to FILE instead of stdout\n");
+}
+
+bool
+parseFlag(const char *arg, const char *name, std::string &out)
+{
+    size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+        out = arg + n + 1;
+        return true;
+    }
+    return false;
+}
+
+ExplainMode
+parseExplainMode(const std::string &m)
+{
+    if (m.empty() || m == "txn")
+        return ExplainMode::Txn;
+    if (m == "lock")
+        return ExplainMode::Lock;
+    if (m == "cpu")
+        return ExplainMode::Cpu;
+    std::fprintf(stderr, "unknown explain mode '%s' (txn|lock|cpu)\n",
+                 m.c_str());
+    std::exit(1);
+}
+
+std::string
+countKeyOf(const TraceRecord &r, const std::string &key)
+{
+    if (key == "cpu")
+        return "cpu" + std::to_string(r.cpu);
+    if (key == "class")
+        return traceClassName(traceClassOf(r.kind));
+    if (key == "lock")
+        return strfmt("%#llx", static_cast<unsigned long long>(r.addr));
+    if (key == "comp")
+        return traceCompName(r.comp);
+    return traceEventName(r.kind); // "kind" (default)
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    TraceFilter filter;
+    auto addFilterTerm = [&](const std::string &term) {
+        std::string err = filter.parse(term);
+        if (!err.empty()) {
+            std::fprintf(stderr, "bad filter: %s\n", err.c_str());
+            std::exit(1);
+        }
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        const char *a = argv[i];
+        if (parseFlag(a, "--filter", v)) addFilterTerm(v);
+        else if (parseFlag(a, "--cpu", v)) addFilterTerm("cpu:" + v);
+        else if (parseFlag(a, "--kind", v)) addFilterTerm("kind:" + v);
+        else if (parseFlag(a, "--class", v)) addFilterTerm("class:" + v);
+        else if (parseFlag(a, "--lock", v)) addFilterTerm("addr:" + v);
+        else if (parseFlag(a, "--addr", v)) addFilterTerm("addr:" + v);
+        else if (parseFlag(a, "--tick", v)) addFilterTerm("tick:" + v);
+        else if (parseFlag(a, "--count", v)) {
+            o.count = true;
+            o.countKey = v;
+        }
+        else if (std::strcmp(a, "--count") == 0) {
+            o.count = true;
+            o.countKey = "kind";
+        }
+        else if (parseFlag(a, "--limit", v))
+            o.limit = std::strtoull(v.c_str(), nullptr, 0);
+        else if (parseFlag(a, "--explain-dot", v)) {
+            o.explainOn = true;
+            o.explainDot = v;
+        }
+        else if (parseFlag(a, "--explain-json", v)) {
+            o.explainOn = true;
+            o.explainJson = v;
+        }
+        else if (parseFlag(a, "--explain", v)) {
+            o.explainOn = true;
+            o.explainMode = v;
+        }
+        else if (std::strcmp(a, "--explain") == 0) o.explainOn = true;
+        else if (parseFlag(a, "--out", v)) o.out = v;
+        else if (std::strcmp(a, "--header") == 0) o.header = true;
+        else if (std::strcmp(a, "--help") == 0 ||
+                 std::strcmp(a, "-h") == 0) {
+            usage();
+            return 0;
+        } else if (a[0] == '-') {
+            std::fprintf(stderr, "unknown flag: %s\n", a);
+            usage();
+            return 1;
+        } else if (o.file.empty()) {
+            o.file = a;
+        } else {
+            std::fprintf(stderr, "more than one input file\n");
+            return 1;
+        }
+    }
+    if (o.file.empty()) {
+        std::fprintf(stderr, "no input file\n");
+        usage();
+        return 1;
+    }
+    if (o.count && o.explainOn) {
+        std::fprintf(stderr, "--count and --explain are exclusive\n");
+        return 1;
+    }
+    if (o.count && o.countKey != "kind" && o.countKey != "cpu" &&
+        o.countKey != "class" && o.countKey != "lock" &&
+        o.countKey != "comp") {
+        std::fprintf(stderr,
+                     "unknown count key '%s' "
+                     "(kind|cpu|class|lock|comp)\n",
+                     o.countKey.c_str());
+        return 1;
+    }
+
+    RawTraceReader reader;
+    std::string err = reader.open(o.file);
+    if (!err.empty()) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 1;
+    }
+
+    std::ofstream outFile;
+    std::ostream *os = nullptr;
+    std::string buffer;
+    auto emit = [&](const std::string &line) { buffer += line; };
+
+    const RawTraceHeader &h = reader.header();
+    if (o.header) {
+        emit(strfmt("file: %s\n", o.file.c_str()));
+        emit(strfmt("version: %u\nrecord_size: %u\nrecords: %llu\n"
+                    "final_tick: %llu\n",
+                    h.version, h.recordSize,
+                    static_cast<unsigned long long>(h.recordCount),
+                    static_cast<unsigned long long>(h.finalTick)));
+    } else if (o.count) {
+        std::map<std::string, std::uint64_t> counts;
+        std::uint64_t total = 0;
+        reader.forEach([&](const TraceRecord &r) {
+            if (!filter.empty() && !filter.matches(r))
+                return;
+            ++counts[countKeyOf(r, o.countKey)];
+            ++total;
+        });
+        for (const auto &[key, n] : counts)
+            emit(strfmt("%12llu  %s\n",
+                        static_cast<unsigned long long>(n),
+                        key.c_str()));
+        emit(strfmt("%12llu  total\n",
+                    static_cast<unsigned long long>(total)));
+    } else if (o.explainOn) {
+        Explainer explainer;
+        reader.forEach([&](const TraceRecord &r) {
+            if (!filter.empty() && !filter.matches(r))
+                return;
+            explainer.onRecord(r);
+        });
+        explainer.finish(h.finalTick);
+        emit(explainer.report(parseExplainMode(o.explainMode)));
+        if (!o.explainDot.empty()) {
+            std::ofstream dot(o.explainDot);
+            if (!dot) {
+                std::fprintf(stderr, "cannot write '%s'\n",
+                             o.explainDot.c_str());
+                return 1;
+            }
+            dot << explainer.dot();
+        }
+        if (!o.explainJson.empty()) {
+            std::ofstream json(o.explainJson);
+            if (!json) {
+                std::fprintf(stderr, "cannot write '%s'\n",
+                             o.explainJson.c_str());
+                return 1;
+            }
+            json << explainer.json();
+        }
+    } else {
+        std::uint64_t printed = 0;
+        reader.forEach([&](const TraceRecord &r) {
+            if (!filter.empty() && !filter.matches(r))
+                return;
+            if (o.limit && printed >= o.limit)
+                return;
+            emit(formatRecord(r) + "\n");
+            ++printed;
+        });
+    }
+
+    if (!o.out.empty()) {
+        outFile.open(o.out, std::ios::binary);
+        if (!outFile) {
+            std::fprintf(stderr, "cannot write '%s'\n", o.out.c_str());
+            return 1;
+        }
+        os = &outFile;
+        *os << buffer;
+    } else {
+        std::fwrite(buffer.data(), 1, buffer.size(), stdout);
+    }
+    return 0;
+}

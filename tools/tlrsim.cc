@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "explain/explain.hh"
+#include "explain/rawtrace.hh"
 #include "harness/runner.hh"
 #include "harness/scheme.hh"
 #include "harness/sweep.hh"
@@ -56,6 +58,12 @@ struct Options
     std::uint64_t seed = 12345;
     bool trace = false;
     std::string traceOut;    // Chrome-trace JSON destination
+    std::string traceRaw;    // binary trace destination (tlrquery)
+    std::string traceFilter; // record filter for --trace-raw
+    bool explainOn = false;  // causal conflict explainer
+    std::string explainMode; // txn (default) | lock | cpu
+    std::string explainDot;  // conflict graph DOT destination
+    std::string explainJson; // explain JSON destination
     bool checkInvariants = false;
     bool metrics = false;    // latency/contention/traffic profiling
     std::string statsJson;   // JSON counter dump destination
@@ -103,7 +111,26 @@ usage()
         "                      events/sec as JSON\n"
         "  --trace             emit the event trace on stderr\n"
         "  --trace-out=FILE    write per-transaction lifecycle spans as\n"
-        "                      Chrome-trace JSON (Perfetto-loadable)\n"
+        "                      Chrome-trace JSON (Perfetto-loadable);\n"
+        "                      with --explain, deferral flow arrows are\n"
+        "                      added between cpu rows\n"
+        "  --trace-raw=FILE    record the event stream as a versioned\n"
+        "                      binary trace (tlrquery input)\n"
+        "  --trace-filter=SPEC thin the --trace-raw file to matching\n"
+        "                      records, e.g. cpu:3,class:Coh,\n"
+        "                      kind:defer,tick:0-5000 (repeated keys\n"
+        "                      OR, distinct keys AND). Applies to the\n"
+        "                      raw file only: --trace-out, --explain\n"
+        "                      and --metrics always see the full\n"
+        "                      stream\n"
+        "  --explain[=MODE]    causal conflict report on stdout after\n"
+        "                      the run; MODE = txn (top-K delayed\n"
+        "                      transactions with causal chains,\n"
+        "                      default) | lock | cpu\n"
+        "  --explain-dot=FILE  write the conflict graph as Graphviz\n"
+        "                      DOT (implies --explain)\n"
+        "  --explain-json=FILE write instances/edges/cycles as JSON\n"
+        "                      (implies --explain)\n"
         "  --trace-ring=N      flight-recorder depth in records (4096)\n"
         "  --check-invariants  run online invariant checkers; panic at\n"
         "                      the first violating tick\n"
@@ -288,6 +315,18 @@ writeBenchJson(const Options &o, const std::vector<ConfigRow> &rows)
     out << "]\n";
 }
 
+ExplainMode
+parseExplainMode(const std::string &m)
+{
+    if (m.empty() || m == "txn")
+        return ExplainMode::Txn;
+    if (m == "lock")
+        return ExplainMode::Lock;
+    if (m == "cpu")
+        return ExplainMode::Cpu;
+    fatal("unknown explain mode '%s' (txn|lock|cpu)", m.c_str());
+}
+
 int
 runSingle(const Options &o, const std::string &schemeStr, int cpus)
 {
@@ -300,11 +339,30 @@ runSingle(const Options &o, const std::string &schemeStr, int cpus)
     mp.trace.ringCapacity = wantTrace ? o.ringCapacity : 0;
     mp.trace.echoText = o.trace;
     mp.trace.checkInvariants = o.checkInvariants;
+    mp.explain = o.explainOn;
+
+    if (!o.traceFilter.empty() && o.traceRaw.empty())
+        fatal("--trace-filter only thins the --trace-raw file; "
+              "add --trace-raw=FILE");
 
     System sys(mp);
     TxnLifecycle lifecycle;
     if (!o.traceOut.empty())
         sys.addTraceListener(&lifecycle);
+    RawTraceWriter rawWriter;
+    if (!o.traceRaw.empty()) {
+        std::string err = rawWriter.open(o.traceRaw);
+        if (!err.empty())
+            fatal("--trace-raw: %s", err.c_str());
+        if (!o.traceFilter.empty()) {
+            TraceFilter f;
+            err = f.parse(o.traceFilter);
+            if (!err.empty())
+                fatal("--trace-filter: %s", err.c_str());
+            rawWriter.setFilter(f);
+        }
+        sys.addTraceListener(&rawWriter);
+    }
     if (o.metrics && !o.traceOut.empty())
         sys.metrics()->enableCounterTracks();
     Workload wl = buildWorkload(o, cpus, schemeLockKind(scheme));
@@ -351,6 +409,26 @@ runSingle(const Options &o, const std::string &schemeStr, int cpus)
     }
     if (o.metrics)
         std::printf("%s", sys.metrics()->snapshot().summary().c_str());
+    if (o.explainOn) {
+        std::printf("%s",
+                    sys.explainer()
+                        ->report(parseExplainMode(o.explainMode))
+                        .c_str());
+        if (!o.explainDot.empty()) {
+            std::ofstream out(o.explainDot);
+            if (!out)
+                fatal("cannot write dot file '%s'",
+                      o.explainDot.c_str());
+            out << sys.explainer()->dot();
+        }
+        if (!o.explainJson.empty()) {
+            std::ofstream out(o.explainJson);
+            if (!out)
+                fatal("cannot write explain file '%s'",
+                      o.explainJson.c_str());
+            out << sys.explainer()->json();
+        }
+    }
     if (!o.traceOut.empty()) {
         std::ofstream out(o.traceOut);
         if (!out)
@@ -358,14 +436,22 @@ runSingle(const Options &o, const std::string &schemeStr, int cpus)
         std::vector<CounterTrack> tracks;
         if (o.metrics)
             tracks = sys.metrics()->counterTracks();
-        lifecycle.exportChromeTrace(out, tracks);
+        std::vector<FlowArrow> flows;
+        if (o.explainOn)
+            flows = sys.explainer()->flowArrows();
+        lifecycle.exportChromeTrace(out, tracks, flows);
         std::fprintf(stderr,
                      "wrote %zu transaction spans, %zu instants, "
-                     "%zu counter tracks to %s\n",
+                     "%zu counter tracks, %zu flow arrows to %s\n",
                      lifecycle.spans().size(),
                      lifecycle.instants().size(), tracks.size(),
-                     o.traceOut.c_str());
+                     flows.size(), o.traceOut.c_str());
     }
+    if (!o.traceRaw.empty())
+        std::fprintf(stderr, "wrote %llu raw trace records to %s\n",
+                     static_cast<unsigned long long>(
+                         rawWriter.written()),
+                     o.traceRaw.c_str());
     if (!o.statsJson.empty()) {
         std::ofstream out(o.statsJson);
         if (!out)
@@ -397,6 +483,9 @@ runSweepMode(const Options &o, const std::vector<std::string> &schemes,
 {
     if (o.trace || !o.traceOut.empty())
         fatal("--trace/--trace-out need a single (scheme, cpus) "
+              "config; narrow --scheme/--cpus");
+    if (o.explainOn || !o.traceRaw.empty())
+        fatal("--explain/--trace-raw need a single (scheme, cpus) "
               "config; narrow --scheme/--cpus");
     if (!o.statsPrefix.empty())
         fatal("--stats needs a single (scheme, cpus) config; narrow "
@@ -543,6 +632,21 @@ main(int argc, char **argv)
         else if (parseFlag(a, "--stats-json", v)) o.statsJson = v;
         else if (parseFlag(a, "--bench-json", v)) o.benchJson = v;
         else if (parseFlag(a, "--trace-out", v)) o.traceOut = v;
+        else if (parseFlag(a, "--trace-raw", v)) o.traceRaw = v;
+        else if (parseFlag(a, "--trace-filter", v)) o.traceFilter = v;
+        else if (parseFlag(a, "--explain-dot", v)) {
+            o.explainOn = true;
+            o.explainDot = v;
+        }
+        else if (parseFlag(a, "--explain-json", v)) {
+            o.explainOn = true;
+            o.explainJson = v;
+        }
+        else if (parseFlag(a, "--explain", v)) {
+            o.explainOn = true;
+            o.explainMode = v;
+        }
+        else if (std::strcmp(a, "--explain") == 0) o.explainOn = true;
         else if (parseFlag(a, "--trace-ring", v))
             o.ringCapacity =
                 static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 0));

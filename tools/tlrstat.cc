@@ -126,6 +126,8 @@ main(int argc, char **argv)
     if (!parseDoc(oldPath, oldDoc) || !parseDoc(newPath, newDoc))
         return 1;
 
+    opt.oldName = oldPath;
+    opt.newName = newPath;
     tlr::DiffReport rep = tlr::diffStats(oldDoc, newDoc, opt);
     std::fputs(tlr::renderDiff(rep, opt).c_str(), stdout);
     if (rep.schemaMismatch)
