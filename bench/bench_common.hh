@@ -200,7 +200,7 @@ maybePrintMetricsTable()
         return;
     std::printf("\n=== metrics digest (TLR_METRICS) ===\n");
     tlr::Table t({"config", "cs p50", "cs p90", "cs p99", "defer p99",
-                  "restarts"});
+                  "restarts", "abort%", "hottest lock"});
     for (const auto &[key, r] : results()) {
         if (!r.metrics)
             continue;
@@ -210,9 +210,17 @@ maybePrintMetricsTable()
             std::snprintf(buf, sizeof(buf), "%.0f", h.percentile(p));
             return std::string(buf);
         };
+        char abt[32];
+        std::snprintf(abt, sizeof(abt), "%.1f", 100.0 * m.abortRate());
+        const auto [hotAddr, hotCont] = m.hottestLock();
+        char hot[48];
+        std::snprintf(hot, sizeof(hot), "%#llx (%llu)",
+                      static_cast<unsigned long long>(hotAddr),
+                      static_cast<unsigned long long>(hotCont));
         t.addRow({key, pct(m.csLatency, 50), pct(m.csLatency, 90),
                   pct(m.csLatency, 99), pct(m.deferWait, 99),
-                  tlr::Table::num(r.restarts)});
+                  tlr::Table::num(r.restarts), abt,
+                  hotCont ? hot : "-"});
     }
     std::printf("%s", t.str().c_str());
 }

@@ -75,6 +75,44 @@ MetricsSnapshot::merge(const MetricsSnapshot &o)
     runTicks += o.runTicks;
 }
 
+std::uint64_t
+MetricsSnapshot::totalCommits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[addr, p] : locks)
+        n += p.commits;
+    return n;
+}
+
+std::uint64_t
+MetricsSnapshot::totalRestarts() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[addr, p] : locks)
+        n += p.restarts;
+    return n;
+}
+
+double
+MetricsSnapshot::abortRate() const
+{
+    double attempts = static_cast<double>(totalCommits()) +
+                      static_cast<double>(totalRestarts());
+    return attempts > 0
+               ? static_cast<double>(totalRestarts()) / attempts
+               : 0.0;
+}
+
+std::pair<Addr, std::uint64_t>
+MetricsSnapshot::hottestLock() const
+{
+    std::pair<Addr, std::uint64_t> best{0, 0};
+    for (const auto &[addr, p] : locks)
+        if (p.contention() > best.second)
+            best = {addr, p.contention()};
+    return best;
+}
+
 std::string
 MetricsSnapshot::json() const
 {
@@ -136,6 +174,18 @@ MetricsSnapshot::json() const
     }
     os << (first ? "]\n    },\n" : "\n      ]\n    },\n");
 
+    // Schema v3: per-workload abort digest (sim/build_info.hh).
+    const auto [hotAddr, hotCont] = hottestLock();
+    os << strfmt("    \"aborts\": {\"commits\": %llu, "
+                 "\"restarts\": %llu, \"abort_rate\": %.6f, "
+                 "\"hottest_lock\": %llu, "
+                 "\"hottest_lock_contention\": %llu},\n",
+                 static_cast<unsigned long long>(totalCommits()),
+                 static_cast<unsigned long long>(totalRestarts()),
+                 abortRate(),
+                 static_cast<unsigned long long>(hotAddr),
+                 static_cast<unsigned long long>(hotCont));
+
     os << "    \"records\": " << records << ",\n";
     os << "    \"run_ticks\": " << runTicks << "\n";
     os << "  }";
@@ -161,6 +211,18 @@ MetricsSnapshot::summary(size_t maxLocks) const
                       h->mean(), h->percentile(50), h->percentile(90),
                       h->percentile(99),
                       static_cast<unsigned long long>(h->max()));
+    }
+
+    {
+        const auto [hotAddr, hotCont] = hottestLock();
+        out += strfmt("-- aborts --\n  commits %llu  restarts %llu  "
+                      "abort-rate %.2f%%  hottest-lock %#llx "
+                      "(contention %llu)\n",
+                      static_cast<unsigned long long>(totalCommits()),
+                      static_cast<unsigned long long>(totalRestarts()),
+                      100.0 * abortRate(),
+                      static_cast<unsigned long long>(hotAddr),
+                      static_cast<unsigned long long>(hotCont));
     }
 
     out += "-- hottest locks --\n";

@@ -116,6 +116,17 @@ struct MetricsSnapshot
      *  any merge order — tests/test_metrics.cc). */
     void merge(const MetricsSnapshot &o);
 
+    /** @{ abort digest, derived from the lock map (metrics schema v3
+     *  exposes these as the "aborts" section). */
+    std::uint64_t totalCommits() const;
+    std::uint64_t totalRestarts() const;
+    /** restarts / (commits + restarts); 0 when idle. */
+    double abortRate() const;
+    /** Highest-contention() lock and its contention; {0, 0} when no
+     *  lock ever contended. */
+    std::pair<Addr, std::uint64_t> hottestLock() const;
+    /** @} */
+
     /** One JSON object (histograms + locks + interconnect), embedded
      *  as the "metrics" section of a versioned stats dump. */
     std::string json() const;

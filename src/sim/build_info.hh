@@ -23,6 +23,13 @@ namespace tlr
  *  shape change — tlrstat exits 2 on a version mismatch. */
 inline constexpr int statsSchemaVersion = 2;
 
+/** Version of dumps that embed a "metrics" section (tlrsim with
+ *  TLR_METRICS, bench_db --bench-json). v3 = v2 plus the per-workload
+ *  abort digest ("aborts": abort_rate + hottest lock) inside the
+ *  metrics object. Counter-only dumps keep statsSchemaVersion, so
+ *  metrics-off output is bit-identical across this bump. */
+inline constexpr int metricsSchemaVersion = 3;
+
 const char *buildCompiler(); ///< e.g. "gcc 13.2.0"
 const char *buildFlags();    ///< CMAKE_CXX_FLAGS the library was built with
 const char *buildGitSha();   ///< short HEAD sha at configure time

@@ -52,7 +52,12 @@ StatSet::dumpJson(const std::string &extra_sections) const
     // plain quoting is sufficient.
     std::ostringstream os;
     os << "{\n";
-    os << "  \"schema_version\": " << statsSchemaVersion << ",\n";
+    // Counter-only dumps keep the v2 layout; embedding extra sections
+    // (the metrics object) switches the document to the v3 schema.
+    os << "  \"schema_version\": "
+       << (extra_sections.empty() ? statsSchemaVersion
+                                  : metricsSchemaVersion)
+       << ",\n";
     os << "  \"meta\": " << buildMetaJson() << ",\n";
     os << "  \"counters\": {\n";
     bool first = true;

@@ -1,0 +1,210 @@
+#include "workloads/db/db.hh"
+
+#include <vector>
+
+#include "harness/system.hh"
+#include "sim/logging.hh"
+#include "sync/layout.hh"
+#include "workloads/db/db_common.hh"
+#include "workloads/db/keydist.hh"
+
+namespace tlr
+{
+
+namespace
+{
+
+using namespace db;
+
+bool
+isPow2(unsigned v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+// Node record layout (one line per record).
+constexpr std::int64_t kvKeyOff = 0;
+constexpr std::int64_t kvValOff = 8;
+constexpr std::int64_t kvCntOff = 16;
+constexpr std::int64_t kvNextOff = 24;
+
+} // namespace
+
+Workload
+makeHashKv(const DbParams &p)
+{
+    if (!isPow2(p.buckets))
+        fatal("hash-kv: buckets (%u) must be a power of two", p.buckets);
+    if (p.keys == 0)
+        fatal("hash-kv: empty key space");
+    if (p.updatePct > 100)
+        fatal("hash-kv: updatePct %u > 100", p.updatePct);
+
+    Layout lay;
+    LockRegion locks =
+        allocLockRegion(lay, p.buckets, p.numCpus, p.lockKind);
+    Addr headBase = lay.allocLines(p.buckets);
+    Addr nodeBase = lay.allocLines(p.keys);
+
+    // Pre-generate each cpu's (key, read-or-update) stream and tally
+    // the exact expected per-record update counts for the validator.
+    OpStream ops;
+    std::vector<std::uint64_t> expUpd(p.keys, 0);
+    Rng root(p.seed);
+    for (int c = 0; c < p.numCpus; ++c) {
+        KeyDist kd(p.keys, p.theta,
+                   root.fork(0x4b5644ull).fork(
+                       static_cast<std::uint64_t>(c)));
+        Rng mix = root.fork(0x4d4958ull).fork(
+            static_cast<std::uint64_t>(c));
+        std::vector<std::uint64_t> w;
+        w.reserve(p.opsPerCpu);
+        for (std::uint64_t i = 0; i < p.opsPerCpu; ++i) {
+            std::uint64_t key = kd.next();
+            bool upd = mix.below(100) < p.updatePct;
+            if (upd)
+                ++expUpd[key];
+            w.push_back((key << 8) | (upd ? 1 : 0));
+        }
+        ops.words.push_back(std::move(w));
+    }
+    ops.alloc(lay);
+
+    Workload wl;
+    wl.name = "hash-kv";
+    wl.lockClassifier = lay.classifier();
+
+    const unsigned buckets = p.buckets;
+    const unsigned keys = p.keys;
+    wl.init = [ops, headBase, nodeBase, buckets, keys](BackingStore &mem) {
+        ops.write(mem);
+        // Chain records into their home buckets in ascending key
+        // order: head[b] -> node(k0) -> node(k1) -> ... -> 0.
+        std::vector<Addr> tail(buckets, 0);
+        for (unsigned k = 0; k < keys; ++k) {
+            Addr node = nodeBase + static_cast<Addr>(k) * lineBytes;
+            unsigned b = k & (buckets - 1);
+            if (tail[b] == 0)
+                mem.writeWord(headBase +
+                                  static_cast<Addr>(b) * lineBytes,
+                              node);
+            else
+                mem.writeWord(tail[b] + kvNextOff, node);
+            tail[b] = node;
+            mem.writeWord(node + kvKeyOff, k);
+            mem.writeWord(node + kvValOff, 0);
+            mem.writeWord(node + kvCntOff, 0);
+            mem.writeWord(node + kvNextOff, 0);
+        }
+    };
+
+    for (int c = 0; c < p.numCpus; ++c) {
+        ProgramBuilder b;
+        emitOpLoopSetup(b, ops, locks, p.lockKind, c, p.opsPerCpu);
+        b.li(rA, static_cast<std::int64_t>(locks.lockBase));
+        b.li(rB, static_cast<std::int64_t>(headBase));
+        b.label("loop");
+        b.bge(rOps, rEnd, "exit");
+        b.ld(rOp, rOps);
+        b.addi(rOps, rOps, 8);
+        b.andi(rD, rOp, 1); // 1 = update
+        b.srli(rKey, rOp, 8);
+        b.andi(rC, rKey, p.buckets - 1);
+        b.slli(rC, rC, lineShift);
+        b.add(rLock, rA, rC);
+        b.add(rE, rB, rC); // bucket head slot
+        emitDbAcquire(b, p.lockKind, rLock, rQnDelta, rQn, rT0, rT1,
+                      rT2);
+        // Chain walk; every key is present, so the walk terminates.
+        b.ld(rCur, rE);
+        b.label("walk");
+        b.ld(rVal, rCur, kvKeyOff);
+        b.beq(rVal, rKey, "found");
+        b.ld(rCur, rCur, kvNextOff);
+        b.jmp("walk");
+        b.label("found");
+        b.beq(rD, 0, "read");
+        b.ld(rVal, rCur, kvValOff);
+        b.addi(rT0, rKey, 1);
+        b.add(rVal, rVal, rT0);
+        b.st(rVal, rCur, kvValOff);
+        b.ld(rVal, rCur, kvCntOff);
+        b.addi(rVal, rVal, 1);
+        b.st(rVal, rCur, kvCntOff);
+        b.jmp("done");
+        b.label("read");
+        b.ld(rVal, rCur, kvValOff);
+        b.label("done");
+        emitDbRelease(b, p.lockKind, rLock, rQnDelta, rQn, rT0, rT1);
+        emitPostDelay(b, p.postReleaseDelayMax);
+        b.jmp("loop");
+        b.label("exit");
+        b.halt();
+        wl.programs.push_back(b.build());
+    }
+
+    std::vector<std::uint64_t> exp = expUpd;
+    wl.validate = [headBase, nodeBase, buckets, keys,
+                   exp](System &sys) {
+        // Key-set and chain integrity via coherent reads, then exact
+        // per-record update-count and value conservation.
+        std::vector<bool> seen(keys, false);
+        std::uint64_t total = 0;
+        for (unsigned b = 0; b < buckets; ++b) {
+            Addr cur = readCoherent(
+                sys, headBase + static_cast<Addr>(b) * lineBytes);
+            std::uint64_t steps = 0;
+            while (cur != 0) {
+                if (++steps > keys) // cycle guard
+                    return false;
+                if (cur < nodeBase ||
+                    (cur - nodeBase) % lineBytes != 0)
+                    return false;
+                std::uint64_t k = (cur - nodeBase) / lineBytes;
+                if (k >= keys || seen[k])
+                    return false;
+                if ((k & (buckets - 1)) != b)
+                    return false; // record strayed from its bucket
+                if (readCoherent(sys, cur + kvKeyOff) != k)
+                    return false;
+                if (readCoherent(sys, cur + kvCntOff) != exp[k])
+                    return false;
+                if (readCoherent(sys, cur + kvValOff) !=
+                    exp[k] * (k + 1))
+                    return false;
+                seen[k] = true;
+                ++total;
+                cur = readCoherent(sys, cur + kvNextOff);
+            }
+        }
+        return total == keys;
+    };
+    return wl;
+}
+
+Workload
+makeYcsb(char mix, DbParams p)
+{
+    const char *name = nullptr;
+    switch (mix) {
+      case 'a':
+        p.updatePct = 50;
+        name = "ycsb-a";
+        break;
+      case 'b':
+        p.updatePct = 5;
+        name = "ycsb-b";
+        break;
+      case 'c':
+        p.updatePct = 0;
+        name = "ycsb-c";
+        break;
+      default:
+        fatal("unknown ycsb mix '%c' (a|b|c)", mix);
+    }
+    Workload wl = makeHashKv(p);
+    wl.name = name;
+    return wl;
+}
+
+} // namespace tlr

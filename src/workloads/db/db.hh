@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Transactional database workload suite (YCSB/TPC-C-class) on the
+ * mini-ISA.
+ *
+ * The paper's evaluation tops out at microbenchmarks and SPLASH-style
+ * kernels; this family supplies the database-shaped critical sections
+ * a production lock-elision story is judged on: skewed (Zipfian) key
+ * popularity, configurable read/write mixes, chained hash buckets,
+ * ordered-index leaves with range scans, cross-partition two-lock
+ * transactions, and a TPC-C-flavored new-order/payment kernel.
+ *
+ * Every workload drives plain test&test&set (or MCS) locks that the
+ * BASE/SLE/TLR schemes elide — no annotations — and every workload
+ * ships a post-run data-integrity validator built on coherent reads
+ * (key-set and chain integrity, update-count and balance/stock
+ * conservation), not just timing: lazy-subscription-style elision
+ * hazards surface as validation failures, never as silent corruption.
+ *
+ * Determinism: each cpu's operation stream (keys, read/write choice,
+ * amounts, item lists) is pre-generated host-side from (seed, cpu)
+ * with the KeyDist generator and baked into private memory at init,
+ * so the validators know the exact expected per-key update counts and
+ * the simulated run consumes no host entropy.
+ */
+
+#ifndef TLR_WORKLOADS_DB_DB_HH
+#define TLR_WORKLOADS_DB_DB_HH
+
+#include "sync/lock_progs.hh"
+#include "workloads/workload.hh"
+
+namespace tlr
+{
+
+/** Shared configuration for the db workload family. */
+struct DbParams
+{
+    int numCpus = 8;
+    std::uint64_t opsPerCpu = 256;
+    std::uint64_t seed = 12345;
+    LockKind lockKind = LockKind::TestAndTestAndSet;
+
+    /** Zipfian skew of key popularity: 0 = uniform, 0.99 = YCSB
+     *  default (hottest keys dominate). */
+    double theta = 0.6;
+    /** Key-space size (hash-kv records / index entries). */
+    unsigned keys = 256;
+    /** Hash-table bucket count (power of two; per-bucket lock). */
+    unsigned buckets = 64;
+    /** Probability (percent) that a hash-kv op is an update. */
+    unsigned updatePct = 50;
+    /** Probability (percent) that an ordered-index op is a 4-key
+     *  range scan (may span two leaves -> two ordered locks). */
+    unsigned scanPct = 10;
+    /** Partition count (partitioned table) / warehouse count (tpcc). */
+    unsigned partitions = 4;
+    /** Rows per partition (power of two). */
+    unsigned rowsPerPartition = 16;
+
+    /** Random post-release delay bound (Kumar et al. methodology,
+     *  matching the microbenchmarks). */
+    unsigned postReleaseDelayMax = 48;
+};
+
+/**
+ * Hash-table KV store: `keys` records chained into `buckets`
+ * fixed buckets, one lock per bucket. Ops read or update a record
+ * found by chain walk; updatePct controls the mix. Validator walks
+ * every chain coherently: key-set integrity (each key exactly once,
+ * in its home bucket, chain length adds up) plus exact per-record
+ * update-count and value conservation.
+ */
+Workload makeHashKv(const DbParams &p);
+
+/** YCSB-style preset mixes over the hash KV: 'a' = 50/50 read/update,
+ *  'b' = 95/5, 'c' = read-only. */
+Workload makeYcsb(char mix, DbParams p);
+
+/**
+ * Ordered index: dense keys packed into 8-entry leaves, one lock per
+ * leaf. Ops are point reads, point updates, and 4-key range scans; a
+ * scan crossing a leaf boundary takes both leaf locks in ascending
+ * (global) order. Validator checks every entry's key field survived
+ * untouched and per-entry update-count/value conservation.
+ */
+Workload makeOrderedIndex(const DbParams &p);
+
+/**
+ * Partitioned table: `partitions` x `rowsPerPartition` balance rows,
+ * one lock per partition. Each transaction transfers between two
+ * (possibly cross-partition) rows, acquiring the two partition locks
+ * in global index order. Validator: exact global balance conservation
+ * plus per-partition transaction counters.
+ */
+Workload makePartitionedTable(const DbParams &p);
+
+/**
+ * TPC-C-flavored kernel: `partitions` warehouses x 4 districts x 32
+ * stock rows; 50/50 new-order (district order-id increment + 3 stock
+ * decrements with threshold replenish, locks taken in global order)
+ * and payment (warehouse + district ytd). Validators: payment-amount
+ * conservation into warehouse and district ytd, per-district order-id
+ * counts, and per-stock-row qty/ytd/replenish conservation.
+ */
+Workload makeTpccLite(const DbParams &p);
+
+} // namespace tlr
+
+#endif // TLR_WORKLOADS_DB_DB_HH

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Internal scaffolding shared by the db workload generators: a
+ * contiguous lock-region allocator with per-cpu MCS queue-node
+ * mirrors, acquire/release wrappers that derive the queue node from
+ * the lock address at runtime, and pre-generated per-cpu operation
+ * streams baked into private memory.
+ *
+ * Not part of the public workload API — include only from the db
+ * workload generators.
+ */
+
+#ifndef TLR_WORKLOADS_DB_DB_COMMON_HH
+#define TLR_WORKLOADS_DB_DB_COMMON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sync/layout.hh"
+#include "sync/lock_progs.hh"
+#include "workloads/workload.hh"
+
+namespace tlr
+{
+namespace db
+{
+
+/**
+ * A contiguous run of line-padded locks plus, under MCS, one
+ * same-stride queue-node mirror region per cpu. Because lock k and
+ * cpu c's queue node for lock k sit at the same offset in their
+ * regions, a program holding the lock address computes its queue
+ * node with one add of the per-cpu constant delta() — no per-lock
+ * tables, which matters when the lock is picked dynamically (hash
+ * bucket, index leaf, partition, stock row).
+ */
+struct LockRegion
+{
+    Addr lockBase = 0;
+    unsigned count = 0;
+    std::vector<Addr> qnBase; ///< per-cpu mirror; empty unless MCS
+
+    Addr lockAddr(unsigned idx) const
+    {
+        return lockBase + static_cast<Addr>(idx) * lineBytes;
+    }
+
+    /** qnode = lock + delta(cpu) (valid for every lock in the region). */
+    std::int64_t delta(int cpu) const
+    {
+        return static_cast<std::int64_t>(qnBase[static_cast<size_t>(cpu)]) -
+               static_cast<std::int64_t>(lockBase);
+    }
+};
+
+inline LockRegion
+allocLockRegion(Layout &lay, unsigned count, int cpus, LockKind kind)
+{
+    LockRegion r;
+    r.count = count;
+    r.lockBase = lay.allocLines(count);
+    for (unsigned i = 0; i < count; ++i)
+        lay.registerSyncAddr(r.lockAddr(i));
+    if (kind == LockKind::Mcs) {
+        for (int c = 0; c < cpus; ++c) {
+            Addr base = lay.allocLines(count);
+            for (unsigned i = 0; i < count; ++i)
+                lay.registerSyncAddr(base +
+                                     static_cast<Addr>(i) * lineBytes);
+            r.qnBase.push_back(base);
+        }
+    }
+    return r;
+}
+
+/** Acquire the lock whose address is in @p lock. Under MCS the queue
+ *  node is derived as lock + @p qnDelta (see LockRegion); @p qn, @p
+ *  t0..t2 are clobbered. */
+inline void
+emitDbAcquire(ProgramBuilder &b, LockKind kind, Reg lock, Reg qnDelta,
+              Reg qn, Reg t0, Reg t1, Reg t2)
+{
+    if (kind == LockKind::Mcs) {
+        b.add(qn, lock, qnDelta);
+        emitMcsAcquire(b, lock, qn, t0, t1, t2);
+    } else {
+        emitTtsAcquire(b, lock, t0, t1);
+    }
+}
+
+/** Release counterpart of emitDbAcquire (recomputes the queue node). */
+inline void
+emitDbRelease(ProgramBuilder &b, LockKind kind, Reg lock, Reg qnDelta,
+              Reg qn, Reg t0, Reg t1)
+{
+    if (kind == LockKind::Mcs) {
+        b.add(qn, lock, qnDelta);
+        emitMcsRelease(b, lock, qn, t0, t1);
+    } else {
+        emitTtsRelease(b, lock);
+    }
+}
+
+/** Per-cpu pre-generated operation words, baked into private memory
+ *  by the workload's init hook (read-only to the simulated program). */
+struct OpStream
+{
+    std::vector<std::vector<std::uint64_t>> words; ///< [cpu][op]
+    std::vector<Addr> base;                        ///< [cpu]
+
+    /** Allocate the backing arrays (call after words is filled). */
+    void
+    alloc(Layout &lay)
+    {
+        for (const auto &w : words)
+            base.push_back(
+                lay.alloc(static_cast<std::uint64_t>(w.size()) * 8,
+                          lineBytes));
+    }
+
+    /** Write every stream into simulated memory. */
+    void
+    write(BackingStore &mem) const
+    {
+        for (size_t c = 0; c < words.size(); ++c)
+            for (size_t i = 0; i < words[c].size(); ++i)
+                mem.writeWord(base[c] + 8 * static_cast<Addr>(i),
+                              words[c][i]);
+    }
+};
+
+// Register conventions shared by the db program generators.
+constexpr Reg rOps = 1;     ///< op-stream cursor
+constexpr Reg rEnd = 2;     ///< op-stream end
+constexpr Reg rOp = 3;      ///< current op word
+constexpr Reg rKey = 4;
+constexpr Reg rT0 = 5;
+constexpr Reg rT1 = 6;
+constexpr Reg rT2 = 7;
+constexpr Reg rLock = 8;
+constexpr Reg rQn = 9;      ///< MCS queue-node scratch
+constexpr Reg rQnDelta = 10;
+constexpr Reg rVal = 11;
+constexpr Reg rCur = 12;
+constexpr Reg rA = 13;      ///< generator-specific
+constexpr Reg rB = 14;
+constexpr Reg rC = 15;
+constexpr Reg rD = 16;
+constexpr Reg rE = 17;
+constexpr Reg rF = 18;
+constexpr Reg rG = 19;
+constexpr Reg rH2 = 20;
+constexpr Reg rDel = 21;
+
+/** Standard op-loop prologue: cursor/end registers plus the MCS
+ *  queue-node delta when needed. */
+inline void
+emitOpLoopSetup(ProgramBuilder &b, const OpStream &ops,
+                const LockRegion &locks, LockKind kind, int cpu,
+                std::uint64_t opWords)
+{
+    Addr base = ops.base[static_cast<size_t>(cpu)];
+    b.li(rOps, static_cast<std::int64_t>(base));
+    b.li(rEnd, static_cast<std::int64_t>(base + opWords * 8));
+    if (kind == LockKind::Mcs)
+        b.li(rQnDelta, locks.delta(cpu));
+}
+
+/** Post-release random delay (same methodology as the micros). */
+inline void
+emitPostDelay(ProgramBuilder &b, unsigned maxDelay)
+{
+    if (maxDelay == 0)
+        return;
+    b.li(rDel, maxDelay);
+    b.rnd(rT0, rDel);
+    b.delay(rT0);
+}
+
+} // namespace db
+} // namespace tlr
+
+#endif // TLR_WORKLOADS_DB_DB_COMMON_HH

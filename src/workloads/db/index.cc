@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Ordered-index workload: dense keys packed into 8-entry leaves (flat
+ * B-tree leaf level), one lock per leaf. Point reads/updates lock one
+ * leaf; 4-key range scans lock the one or two leaves they span in
+ * ascending (global) order — the classic reader-chain shape where
+ * obstruction-freedom trade-offs bite.
+ */
+
+#include <vector>
+
+#include "harness/system.hh"
+#include "sim/logging.hh"
+#include "sync/layout.hh"
+#include "workloads/db/db.hh"
+#include "workloads/db/db_common.hh"
+#include "workloads/db/keydist.hh"
+
+namespace tlr
+{
+
+namespace
+{
+
+using namespace db;
+
+constexpr unsigned keysPerLeaf = 8;
+constexpr unsigned leafShift = 3;
+constexpr unsigned scanLen = 4;
+
+// Entry record layout (one line per entry).
+constexpr std::int64_t ixKeyOff = 0;
+constexpr std::int64_t ixValOff = 8;
+constexpr std::int64_t ixCntOff = 16;
+
+// Op kinds (low byte of the op word).
+constexpr std::uint64_t opRead = 0;
+constexpr std::uint64_t opUpdate = 1;
+constexpr std::uint64_t opScan = 2;
+
+} // namespace
+
+Workload
+makeOrderedIndex(const DbParams &p)
+{
+    // Round the key space up to whole leaves.
+    const unsigned keys =
+        (p.keys + keysPerLeaf - 1) & ~(keysPerLeaf - 1);
+    if (keys == 0)
+        fatal("ordered-index: empty key space");
+    const unsigned leaves = keys / keysPerLeaf;
+    if (p.updatePct + p.scanPct > 100)
+        fatal("ordered-index: updatePct + scanPct > 100");
+
+    Layout lay;
+    LockRegion locks = allocLockRegion(lay, leaves, p.numCpus, p.lockKind);
+    Addr entryBase = lay.allocLines(keys);
+
+    OpStream ops;
+    std::vector<std::uint64_t> expUpd(keys, 0);
+    Rng root(p.seed);
+    for (int c = 0; c < p.numCpus; ++c) {
+        KeyDist kd(keys, p.theta,
+                   root.fork(0x49445855ull).fork(
+                       static_cast<std::uint64_t>(c)));
+        Rng mix = root.fork(0x49584d58ull).fork(
+            static_cast<std::uint64_t>(c));
+        std::vector<std::uint64_t> w;
+        w.reserve(p.opsPerCpu);
+        for (std::uint64_t i = 0; i < p.opsPerCpu; ++i) {
+            std::uint64_t key = kd.next();
+            std::uint64_t roll = mix.below(100);
+            std::uint64_t kind;
+            if (roll < p.updatePct) {
+                kind = opUpdate;
+                ++expUpd[key];
+            } else if (roll < p.updatePct + p.scanPct) {
+                kind = opScan;
+                // Clamp so the scan stays inside the key space.
+                if (key > keys - scanLen)
+                    key = keys - scanLen;
+            } else {
+                kind = opRead;
+            }
+            w.push_back((key << 8) | kind);
+        }
+        ops.words.push_back(std::move(w));
+    }
+    ops.alloc(lay);
+
+    Workload wl;
+    wl.name = "ordered-index";
+    wl.lockClassifier = lay.classifier();
+    wl.init = [ops, entryBase, keys](BackingStore &mem) {
+        ops.write(mem);
+        for (unsigned k = 0; k < keys; ++k) {
+            Addr e = entryBase + static_cast<Addr>(k) * lineBytes;
+            mem.writeWord(e + ixKeyOff, k);
+            mem.writeWord(e + ixValOff, 0);
+            mem.writeWord(e + ixCntOff, 0);
+        }
+    };
+
+    for (int c = 0; c < p.numCpus; ++c) {
+        ProgramBuilder b;
+        emitOpLoopSetup(b, ops, locks, p.lockKind, c, p.opsPerCpu);
+        b.li(rA, static_cast<std::int64_t>(locks.lockBase));
+        b.li(rB, static_cast<std::int64_t>(entryBase));
+        b.label("loop");
+        b.bge(rOps, rEnd, "exit");
+        b.ld(rOp, rOps);
+        b.addi(rOps, rOps, 8);
+        b.andi(rD, rOp, 0xff); // op kind
+        b.srli(rKey, rOp, 8);
+        b.slli(rE, rKey, lineShift);
+        b.add(rE, rB, rE); // entry address
+        b.srli(rC, rKey, leafShift);
+        b.slli(rC, rC, lineShift);
+        b.add(rLock, rA, rC); // leaf lock
+        b.li(rF, opScan);
+        b.beq(rD, rF, "scan");
+
+        // Point read / point update: one leaf lock.
+        emitDbAcquire(b, p.lockKind, rLock, rQnDelta, rQn, rT0, rT1,
+                      rT2);
+        b.beq(rD, 0, "pread");
+        b.ld(rVal, rE, ixValOff);
+        b.addi(rT0, rKey, 1);
+        b.add(rVal, rVal, rT0);
+        b.st(rVal, rE, ixValOff);
+        b.ld(rVal, rE, ixCntOff);
+        b.addi(rVal, rVal, 1);
+        b.st(rVal, rE, ixCntOff);
+        b.jmp("pdone");
+        b.label("pread");
+        b.ld(rVal, rE, ixValOff);
+        b.label("pdone");
+        emitDbRelease(b, p.lockKind, rLock, rQnDelta, rQn, rT0, rT1);
+        b.jmp("next");
+
+        // Range scan: lock the spanned leaf (or two, ascending).
+        b.label("scan");
+        b.addi(rT0, rKey, scanLen - 1);
+        b.srli(rT0, rT0, leafShift);
+        b.slli(rT0, rT0, lineShift);
+        b.add(rG, rA, rT0); // high leaf lock
+        emitDbAcquire(b, p.lockKind, rLock, rQnDelta, rQn, rT0, rT1,
+                      rT2);
+        b.beq(rG, rLock, "one_leaf");
+        emitDbAcquire(b, p.lockKind, rG, rQnDelta, rQn, rT0, rT1, rT2);
+        b.label("one_leaf");
+        for (unsigned i = 0; i < scanLen; ++i)
+            b.ld(rVal, rE,
+                 ixValOff + static_cast<std::int64_t>(i) * lineBytes);
+        b.beq(rG, rLock, "one_rel");
+        emitDbRelease(b, p.lockKind, rG, rQnDelta, rQn, rT0, rT1);
+        b.label("one_rel");
+        emitDbRelease(b, p.lockKind, rLock, rQnDelta, rQn, rT0, rT1);
+
+        b.label("next");
+        emitPostDelay(b, p.postReleaseDelayMax);
+        b.jmp("loop");
+        b.label("exit");
+        b.halt();
+        wl.programs.push_back(b.build());
+    }
+
+    std::vector<std::uint64_t> exp = expUpd;
+    wl.validate = [entryBase, keys, exp](System &sys) {
+        for (unsigned k = 0; k < keys; ++k) {
+            Addr e = entryBase + static_cast<Addr>(k) * lineBytes;
+            if (readCoherent(sys, e + ixKeyOff) != k)
+                return false; // key field must survive untouched
+            if (readCoherent(sys, e + ixCntOff) != exp[k])
+                return false;
+            if (readCoherent(sys, e + ixValOff) != exp[k] * (k + 1))
+                return false;
+        }
+        return true;
+    };
+    return wl;
+}
+
+} // namespace tlr

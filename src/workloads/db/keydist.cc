@@ -1,0 +1,107 @@
+#include "workloads/db/keydist.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace tlr
+{
+
+namespace
+{
+
+/** ln 2 to full double precision (hex literal: exact). */
+constexpr double ln2 = 0x1.62e42fefa39efp-1;
+
+/**
+ * Deterministic natural log for x > 0. Splits x = m * 2^e with
+ * frexp (exact), maps m to [sqrt(0.5), sqrt(2)) and sums the atanh
+ * series ln(m) = 2 * sum t^(2k+1)/(2k+1), t = (m-1)/(m+1). |t| <
+ * 0.172 there, so 11 terms reach full double precision. Only +,-,*,/
+ * are used; every conforming IEEE-754 host produces the same bits.
+ */
+double
+detLn(double x)
+{
+    int e = 0;
+    double m = std::frexp(x, &e); // m in [0.5, 1)
+    if (m < 0x1.6a09e667f3bcdp-1) { // < sqrt(0.5): use 2m, e-1
+        m *= 2;
+        e -= 1;
+    }
+    const double t = (m - 1) / (m + 1);
+    const double t2 = t * t;
+    double term = t;
+    double sum = t;
+    for (int k = 1; k <= 10; ++k) {
+        term *= t2;
+        sum += term / (2 * k + 1);
+    }
+    return 2 * sum + static_cast<double>(e) * ln2;
+}
+
+/**
+ * Deterministic exp. Range-reduces by n = nearest integer to x/ln2
+ * (exact arithmetic on small integers), evaluates the Taylor series
+ * of exp(r) for |r| <= ln2/2 to 13 terms, and rescales with ldexp
+ * (exact).
+ */
+double
+detExp(double x)
+{
+    const double nd = std::floor(x / ln2 + 0.5);
+    const int n = static_cast<int>(nd);
+    const double r = x - nd * ln2;
+    double term = 1;
+    double sum = 1;
+    for (int k = 1; k <= 13; ++k) {
+        term *= r / k;
+        sum += term;
+    }
+    return std::ldexp(sum, n);
+}
+
+} // namespace
+
+double
+detPow(double x, double y)
+{
+    if (y == 0)
+        return 1;
+    return detExp(y * detLn(x));
+}
+
+KeyDist::KeyDist(std::uint64_t n, double theta, Rng rng)
+    : n_(n), theta_(theta), rng_(rng)
+{
+    if (n == 0)
+        fatal("KeyDist: empty key space");
+    if (theta < 0 || theta >= 1.0 + 1e-9)
+        fatal("KeyDist: theta %.3f out of range [0, 1]", theta);
+    if (theta_ > 0) {
+        cum_.reserve(n_);
+        double total = 0;
+        for (std::uint64_t r = 0; r < n_; ++r) {
+            total += detPow(static_cast<double>(r + 1), -theta_);
+            cum_.push_back(total);
+        }
+    }
+}
+
+std::uint64_t
+KeyDist::next()
+{
+    if (cum_.empty())
+        return rng_.below(n_);
+    // 53 uniform mantissa bits -> u in [0, 1); one next() per draw.
+    const double u =
+        static_cast<double>(rng_.next() >> 11) * 0x1p-53;
+    const double target = u * cum_.back();
+    auto it = std::upper_bound(cum_.begin(), cum_.end(), target);
+    if (it == cum_.end())
+        --it;
+    return static_cast<std::uint64_t>(it - cum_.begin());
+}
+
+} // namespace tlr

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Seeded key-distribution generators for the database workload suite.
+ *
+ * The YCSB evaluation methodology draws keys from either a uniform or
+ * a Zipfian distribution; the Zipfian skew parameter theta controls
+ * how hot the hottest keys are (theta = 0 degenerates to uniform,
+ * YCSB's default is 0.99). Contention — and therefore TLR's
+ * abort/defer behavior — is a direct function of that skew, so the
+ * generator must be exactly reproducible: same (seed, n, theta) =>
+ * same key sequence, on every host.
+ *
+ * Cross-platform determinism is load-bearing here (tests pin the
+ * first draws to golden values): IEEE-754 +,-,*,/ are exactly
+ * specified, but libm's pow/log/exp are not, so the Zipfian weights
+ * are computed with our own fixed-iteration ln/exp built from basic
+ * operations only (detPow below).
+ */
+
+#ifndef TLR_WORKLOADS_DB_KEYDIST_HH
+#define TLR_WORKLOADS_DB_KEYDIST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace tlr
+{
+
+/** Deterministic x^y for x > 0 (basic-op ln/exp; bit-stable across
+ *  conforming IEEE-754 hosts, unlike std::pow). */
+double detPow(double x, double y);
+
+/**
+ * Draws keys in [0, n) with Zipfian skew @p theta.
+ *
+ * theta == 0 is the uniform distribution; larger theta concentrates
+ * probability on low-numbered keys (rank r has weight 1/(r+1)^theta).
+ * Keys are drawn by binary search over the exact cumulative weight
+ * table — O(log n) per draw, no approximation — so the empirical
+ * frequencies match the Zipfian pmf for any n.
+ *
+ * The generator consumes exactly one Rng::next() per draw regardless
+ * of theta, so interleaving key draws with other uses of the same Rng
+ * stays reproducible when theta changes.
+ */
+class KeyDist
+{
+  public:
+    KeyDist(std::uint64_t n, double theta, Rng rng);
+
+    /** Next key in [0, n). */
+    std::uint64_t next();
+
+    std::uint64_t n() const { return n_; }
+    double theta() const { return theta_; }
+
+  private:
+    std::uint64_t n_;
+    double theta_;
+    Rng rng_;
+    /** Cumulative weights; empty when theta == 0 (uniform fast path
+     *  still burns one next() per draw, see next()). */
+    std::vector<double> cum_;
+};
+
+} // namespace tlr
+
+#endif // TLR_WORKLOADS_DB_KEYDIST_HH

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Partitioned-table workload: P partitions of R balance rows, one
+ * lock per partition. Every transaction moves money between two rows
+ * drawn from the (possibly skewed) key distribution; when the rows
+ * live in different partitions the two locks are acquired in global
+ * partition-index order (the deadlock-free two-lock discipline),
+ * which is exactly the cross-partition transaction shape sharded
+ * stores serialize on.
+ */
+
+#include <vector>
+
+#include "harness/system.hh"
+#include "sim/logging.hh"
+#include "sync/layout.hh"
+#include "workloads/db/db.hh"
+#include "workloads/db/db_common.hh"
+#include "workloads/db/keydist.hh"
+
+namespace tlr
+{
+
+namespace
+{
+
+using namespace db;
+
+constexpr std::uint64_t initBalance = 1000;
+
+// Extra registers beyond the db_common conventions.
+constexpr Reg rLockLo = 22;
+constexpr Reg rLockHi = 23;
+constexpr Reg rCtrS = 24;
+constexpr Reg rCtrD = 25;
+constexpr Reg rPs = 26;
+constexpr Reg rPd = 27;
+
+unsigned
+log2of(unsigned v)
+{
+    unsigned s = 0;
+    while ((1u << s) < v)
+        ++s;
+    return s;
+}
+
+} // namespace
+
+Workload
+makePartitionedTable(const DbParams &p)
+{
+    const unsigned rows = p.rowsPerPartition;
+    if (rows == 0 || (rows & (rows - 1)) != 0)
+        fatal("partition: rowsPerPartition (%u) must be a power of two",
+              rows);
+    if (p.partitions == 0)
+        fatal("partition: need at least one partition");
+    const unsigned rShift = log2of(rows);
+    const unsigned totalRows = p.partitions * rows;
+
+    Layout lay;
+    LockRegion locks =
+        allocLockRegion(lay, p.partitions, p.numCpus, p.lockKind);
+    Addr ctrBase = lay.allocLines(p.partitions);
+    Addr rowBase = lay.allocLines(totalRows);
+
+    // Op word: amount in bits 0..7, source row in bits 8..31,
+    // destination row in bits 32..55.
+    OpStream ops;
+    std::vector<std::uint64_t> expCtr(p.partitions, 0);
+    Rng root(p.seed);
+    for (int c = 0; c < p.numCpus; ++c) {
+        KeyDist kd(totalRows, p.theta,
+                   root.fork(0x50415254ull).fork(
+                       static_cast<std::uint64_t>(c)));
+        Rng amt = root.fork(0x414d4f54ull).fork(
+            static_cast<std::uint64_t>(c));
+        std::vector<std::uint64_t> w;
+        w.reserve(p.opsPerCpu);
+        for (std::uint64_t i = 0; i < p.opsPerCpu; ++i) {
+            std::uint64_t src = kd.next();
+            std::uint64_t dst = kd.next();
+            std::uint64_t amount = 1 + amt.below(10);
+            unsigned ps = static_cast<unsigned>(src >> rShift);
+            unsigned pd = static_cast<unsigned>(dst >> rShift);
+            ++expCtr[ps];
+            if (pd != ps)
+                ++expCtr[pd];
+            w.push_back(amount | (src << 8) | (dst << 32));
+        }
+        ops.words.push_back(std::move(w));
+    }
+    ops.alloc(lay);
+
+    Workload wl;
+    wl.name = "partition";
+    wl.lockClassifier = lay.classifier();
+    wl.init = [ops, rowBase, totalRows](BackingStore &mem) {
+        ops.write(mem);
+        for (unsigned r = 0; r < totalRows; ++r)
+            mem.writeWord(rowBase + static_cast<Addr>(r) * lineBytes,
+                          initBalance);
+    };
+
+    for (int c = 0; c < p.numCpus; ++c) {
+        ProgramBuilder b;
+        emitOpLoopSetup(b, ops, locks, p.lockKind, c, p.opsPerCpu);
+        b.li(rA, static_cast<std::int64_t>(locks.lockBase));
+        b.li(rB, static_cast<std::int64_t>(rowBase));
+        b.li(rF, static_cast<std::int64_t>(ctrBase));
+        b.label("loop");
+        b.bge(rOps, rEnd, "exit");
+        b.ld(rOp, rOps);
+        b.addi(rOps, rOps, 8);
+        b.andi(rD, rOp, 0xff); // amount
+        b.srli(rT0, rOp, 8);
+        b.andi(rC, rT0, 0xffffff); // source row
+        b.srli(rE, rOp, 32);       // destination row
+        b.slli(rT0, rC, lineShift);
+        b.add(rG, rB, rT0); // source row address
+        b.slli(rT0, rE, lineShift);
+        b.add(rH2, rB, rT0); // destination row address
+        b.srli(rPs, rC, rShift);
+        b.srli(rPd, rE, rShift);
+        b.slli(rT0, rPs, lineShift);
+        b.add(rLockLo, rA, rT0);
+        b.add(rCtrS, rF, rT0);
+        b.slli(rT0, rPd, lineShift);
+        b.add(rLockHi, rA, rT0);
+        b.add(rCtrD, rF, rT0);
+        b.beq(rPs, rPd, "same_part");
+        b.blt(rPs, rPd, "ordered");
+        b.mov(rT0, rLockLo); // global-order the two partition locks
+        b.mov(rLockLo, rLockHi);
+        b.mov(rLockHi, rT0);
+        b.label("ordered");
+        emitDbAcquire(b, p.lockKind, rLockLo, rQnDelta, rQn, rT0, rT1,
+                      rT2);
+        emitDbAcquire(b, p.lockKind, rLockHi, rQnDelta, rQn, rT0, rT1,
+                      rT2);
+        // Move min(balance, amount) from source to destination.
+        b.ld(rVal, rG);
+        b.blt(rD, rVal, "enough2");
+        b.mov(rD, rVal);
+        b.label("enough2");
+        b.sub(rVal, rVal, rD);
+        b.st(rVal, rG);
+        b.ld(rVal, rH2);
+        b.add(rVal, rVal, rD);
+        b.st(rVal, rH2);
+        b.ld(rVal, rCtrS);
+        b.addi(rVal, rVal, 1);
+        b.st(rVal, rCtrS);
+        b.ld(rVal, rCtrD);
+        b.addi(rVal, rVal, 1);
+        b.st(rVal, rCtrD);
+        emitDbRelease(b, p.lockKind, rLockHi, rQnDelta, rQn, rT0, rT1);
+        emitDbRelease(b, p.lockKind, rLockLo, rQnDelta, rQn, rT0, rT1);
+        b.jmp("next");
+
+        b.label("same_part"); // one lock; src may equal dst
+        emitDbAcquire(b, p.lockKind, rLockLo, rQnDelta, rQn, rT0, rT1,
+                      rT2);
+        b.ld(rVal, rG);
+        b.blt(rD, rVal, "enough1");
+        b.mov(rD, rVal);
+        b.label("enough1");
+        b.sub(rVal, rVal, rD);
+        b.st(rVal, rG);
+        b.ld(rVal, rH2);
+        b.add(rVal, rVal, rD);
+        b.st(rVal, rH2);
+        b.ld(rVal, rCtrS);
+        b.addi(rVal, rVal, 1);
+        b.st(rVal, rCtrS);
+        emitDbRelease(b, p.lockKind, rLockLo, rQnDelta, rQn, rT0, rT1);
+
+        b.label("next");
+        emitPostDelay(b, p.postReleaseDelayMax);
+        b.jmp("loop");
+        b.label("exit");
+        b.halt();
+        wl.programs.push_back(b.build());
+    }
+
+    const unsigned partitions = p.partitions;
+    std::vector<std::uint64_t> exp = expCtr;
+    wl.validate = [rowBase, ctrBase, totalRows, partitions,
+                   exp](System &sys) {
+        std::uint64_t sum = 0;
+        for (unsigned r = 0; r < totalRows; ++r)
+            sum += readCoherent(
+                sys, rowBase + static_cast<Addr>(r) * lineBytes);
+        if (sum != initBalance * totalRows)
+            return false; // money is neither created nor lost
+        for (unsigned q = 0; q < partitions; ++q)
+            if (readCoherent(sys, ctrBase +
+                                      static_cast<Addr>(q) * lineBytes) !=
+                exp[q])
+                return false;
+        return true;
+    };
+    return wl;
+}
+
+} // namespace tlr

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * TPC-C-flavored kernel: `partitions` warehouses, 4 districts and 32
+ * stock rows each. A 50/50 mix of new-order (district order counter +
+ * three distinct stock-row decrements with threshold replenish) and
+ * payment (warehouse + district year-to-date). All locks live in one
+ * contiguous region ordered warehouse < district < stock, so every
+ * transaction naturally acquires in ascending (global) address order,
+ * and a single per-run delta maps any lock to its data line.
+ *
+ * Stock conservation is exact despite racing replenishes: each op
+ * subtracts q in [1,10] and adds 91 iff the result dips below 10, so
+ * qty stays in [10,100] — a width-91 window — and the final quantity
+ * is the unique value in that window congruent to 100 - sum(q) mod 91,
+ * independent of interleaving.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "harness/system.hh"
+#include "sim/logging.hh"
+#include "sync/layout.hh"
+#include "workloads/db/db.hh"
+#include "workloads/db/db_common.hh"
+#include "workloads/db/keydist.hh"
+
+namespace tlr
+{
+
+namespace
+{
+
+using namespace db;
+
+constexpr unsigned districtsPerWh = 4;
+constexpr unsigned stockPerWh = 32;
+constexpr std::uint64_t initQty = 100;
+constexpr std::uint64_t replenishAt = 10; ///< refill when qty drops below
+constexpr std::uint64_t replenishBy = 91;
+
+// Data-line offsets. Warehouse: ytd@0. District: orders@0, ytd@8.
+// Stock: qty@0, ytd@8, count@16.
+constexpr std::int64_t fYtd = 0;
+constexpr std::int64_t fOrders = 0;
+constexpr std::int64_t fDistYtd = 8;
+constexpr std::int64_t fQty = 0;
+constexpr std::int64_t fStockYtd = 8;
+constexpr std::int64_t fStockCnt = 16;
+
+// Final stock quantity implied by the total decremented amount.
+std::uint64_t
+expectedQty(std::uint64_t sumQ)
+{
+    std::uint64_t q = (initQty + replenishBy * (1 + sumQ / replenishBy) -
+                       sumQ % replenishBy) %
+                      replenishBy;
+    if (q < replenishAt)
+        q += replenishBy;
+    return q;
+}
+
+} // namespace
+
+Workload
+makeTpccLite(const DbParams &p)
+{
+    const unsigned whs = p.partitions;
+    if (whs == 0)
+        fatal("tpcc-lite: need at least one warehouse");
+    const unsigned districts = whs * districtsPerWh;
+    const unsigned stocks = whs * stockPerWh;
+    // Lock-region index space: [0, whs) warehouses, then districts,
+    // then stock rows — ascending addresses give the global order.
+    const unsigned dIdx0 = whs;
+    const unsigned sIdx0 = whs + districts;
+    const unsigned total = whs + districts + stocks;
+
+    Layout lay;
+    LockRegion locks = allocLockRegion(lay, total, p.numCpus, p.lockKind);
+    Addr dataBase = lay.allocLines(total);
+    const std::int64_t dataDelta =
+        static_cast<std::int64_t>(dataBase) -
+        static_cast<std::int64_t>(locks.lockBase);
+
+    // One 64-byte line (8 words) per op. w0: kind (0 = new-order,
+    // 1 = payment). New-order: w1 district lock, w2..w4 strictly
+    // ascending distinct stock locks, w5 = q0 | q1<<8 | q2<<16.
+    // Payment: w1 warehouse lock, w2 district lock, w3 amount.
+    OpStream ops;
+    std::vector<std::uint64_t> expOrd(districts, 0);
+    std::vector<std::uint64_t> expWhYtd(whs, 0);
+    std::vector<std::uint64_t> expDistYtd(districts, 0);
+    std::vector<std::uint64_t> expStockYtd(stocks, 0);
+    std::vector<std::uint64_t> expStockCnt(stocks, 0);
+    Rng root(p.seed);
+    for (int c = 0; c < p.numCpus; ++c) {
+        KeyDist kd(stocks, p.theta,
+                   root.fork(0x53544f434bull).fork(
+                       static_cast<std::uint64_t>(c)));
+        Rng mix = root.fork(0x545043ull).fork(
+            static_cast<std::uint64_t>(c));
+        std::vector<std::uint64_t> w;
+        w.reserve(p.opsPerCpu * 8);
+        for (std::uint64_t i = 0; i < p.opsPerCpu; ++i) {
+            bool payment = mix.below(100) < 50;
+            std::uint64_t line[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+            if (payment) {
+                unsigned wh = static_cast<unsigned>(mix.below(whs));
+                unsigned d = wh * districtsPerWh +
+                             static_cast<unsigned>(
+                                 mix.below(districtsPerWh));
+                std::uint64_t amount = 1 + mix.below(100);
+                line[0] = 1;
+                line[1] = locks.lockAddr(wh);
+                line[2] = locks.lockAddr(dIdx0 + d);
+                line[3] = amount;
+                expWhYtd[wh] += amount;
+                expDistYtd[d] += amount;
+            } else {
+                unsigned d = static_cast<unsigned>(mix.below(districts));
+                // Three distinct stock rows, popularity-skewed.
+                unsigned row[3];
+                for (int j = 0; j < 3; ++j) {
+                    bool dup;
+                    do {
+                        row[j] = static_cast<unsigned>(kd.next());
+                        dup = false;
+                        for (int k = 0; k < j; ++k)
+                            dup = dup || row[k] == row[j];
+                    } while (dup);
+                }
+                std::sort(row, row + 3);
+                line[0] = 0;
+                line[1] = locks.lockAddr(dIdx0 + d);
+                std::uint64_t qtys = 0;
+                for (int j = 0; j < 3; ++j) {
+                    std::uint64_t q = 1 + mix.below(10);
+                    line[2 + j] = locks.lockAddr(sIdx0 + row[j]);
+                    qtys |= q << (8 * j);
+                    expStockYtd[row[j]] += q;
+                    ++expStockCnt[row[j]];
+                }
+                line[5] = qtys;
+                ++expOrd[d];
+            }
+            w.insert(w.end(), line, line + 8);
+        }
+        ops.words.push_back(std::move(w));
+    }
+    ops.alloc(lay);
+
+    Workload wl;
+    wl.name = "tpcc-lite";
+    wl.lockClassifier = lay.classifier();
+    wl.init = [ops, dataBase, whs, districts, stocks, dIdx0,
+               sIdx0](BackingStore &mem) {
+        ops.write(mem);
+        auto line = [&](unsigned idx) {
+            return dataBase + static_cast<Addr>(idx) * lineBytes;
+        };
+        for (unsigned w = 0; w < whs; ++w)
+            mem.writeWord(line(w) + fYtd, 0);
+        for (unsigned d = 0; d < districts; ++d) {
+            mem.writeWord(line(dIdx0 + d) + fOrders, 0);
+            mem.writeWord(line(dIdx0 + d) + fDistYtd, 0);
+        }
+        for (unsigned s = 0; s < stocks; ++s) {
+            mem.writeWord(line(sIdx0 + s) + fQty, initQty);
+            mem.writeWord(line(sIdx0 + s) + fStockYtd, 0);
+            mem.writeWord(line(sIdx0 + s) + fStockCnt, 0);
+        }
+    };
+
+    for (int c = 0; c < p.numCpus; ++c) {
+        ProgramBuilder b;
+        emitOpLoopSetup(b, ops, locks, p.lockKind, c, p.opsPerCpu * 8);
+        b.li(rF, dataDelta);
+        b.label("loop");
+        b.bge(rOps, rEnd, "exit");
+        b.ld(rOp, rOps, 0);
+        b.ld(rA, rOps, 8);
+        b.ld(rB, rOps, 16);
+        b.ld(rC, rOps, 24);
+        b.ld(rD, rOps, 32);
+        b.ld(rE, rOps, 40);
+        b.addi(rOps, rOps, 64);
+        b.bne(rOp, 0, "payment");
+
+        // New-order: district lock then the three stock locks — the
+        // op line already carries them in ascending global order.
+        emitDbAcquire(b, p.lockKind, rA, rQnDelta, rQn, rT0, rT1, rT2);
+        emitDbAcquire(b, p.lockKind, rB, rQnDelta, rQn, rT0, rT1, rT2);
+        emitDbAcquire(b, p.lockKind, rC, rQnDelta, rQn, rT0, rT1, rT2);
+        emitDbAcquire(b, p.lockKind, rD, rQnDelta, rQn, rT0, rT1, rT2);
+        b.add(rG, rA, rF); // district data line
+        b.ld(rVal, rG, fOrders);
+        b.addi(rVal, rVal, 1);
+        b.st(rVal, rG, fOrders);
+        const Reg stockLock[3] = {rB, rC, rD};
+        for (int j = 0; j < 3; ++j) {
+            std::string fill = "fill" + std::to_string(j);
+            b.add(rG, stockLock[j], rF);
+            b.srli(rT0, rE, 8 * static_cast<unsigned>(j));
+            b.andi(rT0, rT0, 0xff); // this row's quantity
+            b.ld(rVal, rG, fQty);
+            b.sub(rVal, rVal, rT0);
+            b.li(rT1, static_cast<std::int64_t>(replenishAt));
+            b.bge(rVal, rT1, fill);
+            b.addi(rVal, rVal, replenishBy); // threshold replenish
+            b.label(fill);
+            b.st(rVal, rG, fQty);
+            b.ld(rVal, rG, fStockYtd);
+            b.add(rVal, rVal, rT0);
+            b.st(rVal, rG, fStockYtd);
+            b.ld(rVal, rG, fStockCnt);
+            b.addi(rVal, rVal, 1);
+            b.st(rVal, rG, fStockCnt);
+        }
+        emitDbRelease(b, p.lockKind, rD, rQnDelta, rQn, rT0, rT1);
+        emitDbRelease(b, p.lockKind, rC, rQnDelta, rQn, rT0, rT1);
+        emitDbRelease(b, p.lockKind, rB, rQnDelta, rQn, rT0, rT1);
+        emitDbRelease(b, p.lockKind, rA, rQnDelta, rQn, rT0, rT1);
+        b.jmp("next");
+
+        // Payment: warehouse then district (ascending by region).
+        b.label("payment");
+        emitDbAcquire(b, p.lockKind, rA, rQnDelta, rQn, rT0, rT1, rT2);
+        emitDbAcquire(b, p.lockKind, rB, rQnDelta, rQn, rT0, rT1, rT2);
+        b.add(rG, rA, rF);
+        b.ld(rVal, rG, fYtd);
+        b.add(rVal, rVal, rC);
+        b.st(rVal, rG, fYtd);
+        b.add(rG, rB, rF);
+        b.ld(rVal, rG, fDistYtd);
+        b.add(rVal, rVal, rC);
+        b.st(rVal, rG, fDistYtd);
+        emitDbRelease(b, p.lockKind, rB, rQnDelta, rQn, rT0, rT1);
+        emitDbRelease(b, p.lockKind, rA, rQnDelta, rQn, rT0, rT1);
+
+        b.label("next");
+        emitPostDelay(b, p.postReleaseDelayMax);
+        b.jmp("loop");
+        b.label("exit");
+        b.halt();
+        wl.programs.push_back(b.build());
+    }
+
+    wl.validate = [dataBase, whs, districts, stocks, dIdx0, sIdx0,
+                   expOrd, expWhYtd, expDistYtd, expStockYtd,
+                   expStockCnt](System &sys) {
+        auto line = [&](unsigned idx) {
+            return dataBase + static_cast<Addr>(idx) * lineBytes;
+        };
+        for (unsigned w = 0; w < whs; ++w)
+            if (readCoherent(sys, line(w) + fYtd) != expWhYtd[w])
+                return false; // payment conservation (warehouse)
+        for (unsigned d = 0; d < districts; ++d) {
+            if (readCoherent(sys, line(dIdx0 + d) + fOrders) !=
+                expOrd[d])
+                return false;
+            if (readCoherent(sys, line(dIdx0 + d) + fDistYtd) !=
+                expDistYtd[d])
+                return false;
+        }
+        for (unsigned s = 0; s < stocks; ++s) {
+            Addr e = line(sIdx0 + s);
+            if (readCoherent(sys, e + fStockYtd) != expStockYtd[s])
+                return false;
+            if (readCoherent(sys, e + fStockCnt) != expStockCnt[s])
+                return false;
+            if (readCoherent(sys, e + fQty) !=
+                expectedQty(expStockYtd[s]))
+                return false; // unique qty in the width-91 window
+        }
+        return true;
+    };
+    return wl;
+}
+
+} // namespace tlr

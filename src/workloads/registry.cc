@@ -1,0 +1,221 @@
+#include "workloads/registry.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "workloads/apps.hh"
+#include "workloads/db/db.hh"
+#include "workloads/extra.hh"
+#include "workloads/micro.hh"
+#include "workloads/scenarios.hh"
+
+namespace tlr
+{
+
+namespace
+{
+
+// Category headers. Alphabetical listing order is part of the
+// contract (tests/test_db.cc pins it), so the names are chosen to
+// read well sorted.
+const char *const kCatApps = "application kernels (paper Table 1)";
+const char *const kCatDb = "database workloads (src/workloads/db)";
+const char *const kCatExtra = "extended workloads";
+const char *const kCatMicro = "microbenchmarks (paper Section 5.1)";
+const char *const kCatScenario = "scenarios (paper figures)";
+
+MicroParams
+microParams(const WorkloadParams &p)
+{
+    MicroParams mp;
+    mp.numCpus = p.numCpus;
+    mp.lockKind = p.lockKind;
+    mp.totalOps = p.ops;
+    return mp;
+}
+
+DbParams
+dbParams(const WorkloadParams &p)
+{
+    DbParams d;
+    d.numCpus = p.numCpus;
+    d.opsPerCpu = p.ops;
+    d.seed = p.seed;
+    d.lockKind = p.lockKind;
+    d.theta = p.theta;
+    d.keys = p.keys;
+    d.partitions = p.partitions;
+    return d;
+}
+
+void
+addDbEntries(std::vector<WorkloadEntry> &r)
+{
+    const std::string dbKnobs =
+        "ops=per-cpu, --theta, --keys, --seed";
+    r.push_back({"hash-kv", kCatDb,
+                 "chained hash-table KV, per-bucket locks", dbKnobs,
+                 [](const WorkloadParams &p) {
+                     return makeHashKv(dbParams(p));
+                 }});
+    for (char mix : {'a', 'b', 'c'}) {
+        std::string summary =
+            std::string("YCSB-") +
+            static_cast<char>(mix - 'a' + 'A') + " mix over hash-kv (" +
+            (mix == 'a' ? "50% updates"
+                        : mix == 'b' ? "5% updates" : "read-only") +
+            ")";
+        r.push_back({std::string("ycsb-") + mix, kCatDb, summary,
+                     dbKnobs, [mix](const WorkloadParams &p) {
+                         return makeYcsb(mix, dbParams(p));
+                     }});
+    }
+    r.push_back({"ordered-index", kCatDb,
+                 "leaf-locked index with two-lock range scans", dbKnobs,
+                 [](const WorkloadParams &p) {
+                     return makeOrderedIndex(dbParams(p));
+                 }});
+    r.push_back({"partition", kCatDb,
+                 "cross-partition transfers, ordered two-lock txns",
+                 "ops=per-cpu, --theta, --partitions, --seed",
+                 [](const WorkloadParams &p) {
+                     return makePartitionedTable(dbParams(p));
+                 }});
+    r.push_back({"tpcc-lite", kCatDb,
+                 "TPC-C-style new-order/payment over warehouses",
+                 "ops=per-cpu, --theta, --partitions (warehouses), "
+                 "--seed",
+                 [](const WorkloadParams &p) {
+                     return makeTpccLite(dbParams(p));
+                 }});
+}
+
+std::vector<WorkloadEntry>
+buildRegistry()
+{
+    std::vector<WorkloadEntry> r;
+
+    r.push_back({"single-counter", kCatMicro,
+                 "fine-grain / high conflict", "ops=total",
+                 [](const WorkloadParams &p) {
+                     return makeSingleCounter(microParams(p));
+                 }});
+    r.push_back({"multiple-counter", kCatMicro,
+                 "coarse-grain / no conflicts", "ops=total",
+                 [](const WorkloadParams &p) {
+                     return makeMultipleCounter(microParams(p));
+                 }});
+    r.push_back({"dlist", kCatMicro,
+                 "fine-grain / dynamic conflicts", "ops=total",
+                 [](const WorkloadParams &p) {
+                     return makeDoublyLinkedList(microParams(p));
+                 }});
+
+    r.push_back({"reverse-writers", kCatScenario,
+                 "Figures 2/4 conflict pattern", "ops=per-cpu",
+                 [](const WorkloadParams &p) {
+                     return makeReverseWriters(p.numCpus, p.ops);
+                 }});
+    r.push_back({"rotated-blocks", kCatScenario,
+                 "Figure 6 chain pattern", "ops=per-cpu",
+                 [](const WorkloadParams &p) {
+                     return makeRotatedBlocks(p.numCpus, p.ops);
+                 }});
+
+    for (const AppProfile &prof : allAppProfiles()) {
+        r.push_back({prof.name, kCatApps,
+                     "synthetic SPLASH-style kernel", "ops=per-cpu",
+                     [prof](const WorkloadParams &p) {
+                         AppProfile a = prof;
+                         a.itersPerCpu = p.ops;
+                         return makeAppKernel(a, p.numCpus, p.lockKind);
+                     }});
+    }
+    r.push_back({"mp3d-coarse", kCatApps,
+                 "one lock over all cells (paper Section 6.3)",
+                 "ops=per-cpu", [](const WorkloadParams &p) {
+                     AppProfile a = mp3dCoarseProfile();
+                     a.itersPerCpu = p.ops;
+                     return makeAppKernel(a, p.numCpus, p.lockKind);
+                 }});
+
+    r.push_back({"bank", kCatExtra, "nested ordered account locks",
+                 "ops=per-cpu", [](const WorkloadParams &p) {
+                     return makeBankTransfer(p.numCpus, 16, p.ops,
+                                             p.lockKind);
+                 }});
+    r.push_back({"octree", kCatExtra, "barnes-like tree-node locking",
+                 "ops=per-cpu", [](const WorkloadParams &p) {
+                     return makeOctreeInsert(p.numCpus, 2, p.ops,
+                                             p.lockKind);
+                 }});
+    r.push_back({"history", kCatExtra,
+                 "serialization-witness counter", "ops=per-cpu",
+                 [](const WorkloadParams &p) {
+                     return makeHistoryCounter(p.numCpus, p.ops,
+                                               p.lockKind);
+                 }});
+
+    addDbEntries(r);
+
+    std::sort(r.begin(), r.end(),
+              [](const WorkloadEntry &a, const WorkloadEntry &b) {
+                  if (a.category != b.category)
+                      return a.category < b.category;
+                  return a.name < b.name;
+              });
+    return r;
+}
+
+} // namespace
+
+const std::vector<WorkloadEntry> &
+workloadRegistry()
+{
+    static const std::vector<WorkloadEntry> r = buildRegistry();
+    return r;
+}
+
+const WorkloadEntry *
+findWorkload(const std::string &name)
+{
+    for (const WorkloadEntry &e : workloadRegistry())
+        if (e.name == name)
+            return &e;
+    return nullptr;
+}
+
+Workload
+makeRegisteredWorkload(const std::string &name, const WorkloadParams &p)
+{
+    const WorkloadEntry *e = findWorkload(name);
+    if (!e)
+        fatal("unknown workload '%s' (try --list)", name.c_str());
+    return e->make(p);
+}
+
+std::string
+workloadListText()
+{
+    const std::vector<WorkloadEntry> &reg = workloadRegistry();
+    size_t width = 0;
+    for (const WorkloadEntry &e : reg)
+        width = std::max(width, e.name.size());
+    std::ostringstream os;
+    std::string cat;
+    for (const WorkloadEntry &e : reg) {
+        if (e.category != cat) {
+            cat = e.category;
+            os << cat << ":\n";
+        }
+        os << "  " << e.name
+           << std::string(width - e.name.size() + 2, ' ') << e.summary;
+        if (!e.params.empty())
+            os << " [" << e.params << "]";
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace tlr

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Name -> factory registry over every built-in workload.
+ *
+ * The tlrsim driver (and anything else that builds workloads from
+ * strings) used to hard-code an if/else chain plus a hand-maintained
+ * --list block; the two drifted whenever a workload was added. The
+ * registry is the single source of truth: each entry carries the
+ * user-visible name, a category for grouped listings, a one-line
+ * summary, a note on how the generic knobs map onto the workload
+ * (ops = total vs per-cpu, which extra knobs apply), and the factory.
+ */
+
+#ifndef TLR_WORKLOADS_REGISTRY_HH
+#define TLR_WORKLOADS_REGISTRY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sync/lock_progs.hh"
+#include "workloads/workload.hh"
+
+namespace tlr
+{
+
+/** Generic knob set every registered factory draws from. Each
+ *  workload uses the subset its entry's `params` note documents and
+ *  ignores the rest. */
+struct WorkloadParams
+{
+    int numCpus = 8;
+    std::uint64_t ops = 1024;
+    std::uint64_t seed = 12345;
+    LockKind lockKind = LockKind::TestAndTestAndSet;
+
+    /** @{ database-family knobs (tlrsim --theta/--keys/--partitions) */
+    double theta = 0.6;      ///< Zipfian skew of key popularity
+    unsigned keys = 256;     ///< key-space size
+    unsigned partitions = 4; ///< partitions / warehouses
+    /** @} */
+};
+
+struct WorkloadEntry
+{
+    std::string name;
+    std::string category; ///< grouping header for listings
+    std::string summary;  ///< one line for --list
+    std::string params;   ///< how the knobs map, e.g. "ops=per-cpu"
+    std::function<Workload(const WorkloadParams &)> make;
+};
+
+/** Every built-in workload, sorted by (category, name). */
+const std::vector<WorkloadEntry> &workloadRegistry();
+
+/** Entry for @p name, or null. */
+const WorkloadEntry *findWorkload(const std::string &name);
+
+/** Build @p name with @p p; fatal with a try-`--list` hint when the
+ *  name is unknown. */
+Workload makeRegisteredWorkload(const std::string &name,
+                                const WorkloadParams &p);
+
+/** The --list text: categories alphabetical, workloads alphabetical
+ *  within each, one aligned `name  summary [params]` line per entry. */
+std::string workloadListText();
+
+} // namespace tlr
+
+#endif // TLR_WORKLOADS_REGISTRY_HH

@@ -367,3 +367,69 @@ TEST(BuildInfo, MetaJsonIsValidAndVersioned)
     ASSERT_NE(doc.find("counters"), nullptr);
     EXPECT_EQ(doc.find("counters")->find("g.n")->number, 7.0);
 }
+
+// The v2 -> v3 bump: embedding a metrics section switches the
+// document to metricsSchemaVersion; counter-only dumps keep the v2
+// layout bit-for-bit (zero-overhead-off), and tlrstat keeps refusing
+// to diff across the two.
+TEST(BuildInfo, MetricsSectionBumpsSchemaVersion)
+{
+    EXPECT_EQ(metricsSchemaVersion, statsSchemaVersion + 1);
+
+    StatSet st;
+    st.counter("g", "n") = 7;
+    MetricsSnapshot snap;
+    snap.locks[0x10000].commits = 3;
+    snap.locks[0x10000].restarts = 1;
+
+    JsonValue plain, withMetrics;
+    std::string err;
+    ASSERT_TRUE(parseJson(st.dumpJson(), plain, err)) << err;
+    ASSERT_TRUE(parseJson(st.dumpJson("  \"metrics\": " + snap.json()),
+                          withMetrics, err))
+        << err;
+    EXPECT_EQ(plain.find("schema_version")->number,
+              static_cast<double>(statsSchemaVersion));
+    EXPECT_EQ(withMetrics.find("schema_version")->number,
+              static_cast<double>(metricsSchemaVersion));
+
+    // Cross-version diff still refuses.
+    DiffOptions opt;
+    EXPECT_TRUE(diffStats(plain, withMetrics, opt).schemaMismatch);
+}
+
+// The v3 abort digest: derived totals, rate, and hottest-lock row in
+// both the JSON and the helpers the bench digests print.
+TEST(Metrics, AbortDigest)
+{
+    MetricsSnapshot snap;
+    snap.locks[0x10040].commits = 6;
+    snap.locks[0x10040].restarts = 2;
+    snap.locks[0x10080].commits = 4;
+    snap.locks[0x10080].restarts = 1;
+    snap.locks[0x10080].defers = 5;
+
+    EXPECT_EQ(snap.totalCommits(), 10u);
+    EXPECT_EQ(snap.totalRestarts(), 3u);
+    EXPECT_NEAR(snap.abortRate(), 3.0 / 13.0, 1e-9);
+    auto [addr, cont] = snap.hottestLock();
+    EXPECT_EQ(addr, 0x10080u);
+    EXPECT_EQ(cont, 6u); // restarts + fallbacks + defers
+
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parseJson(snap.json(), v, err)) << err;
+    const JsonValue *aborts = v.find("aborts");
+    ASSERT_NE(aborts, nullptr);
+    EXPECT_EQ(aborts->find("commits")->number, 10.0);
+    EXPECT_EQ(aborts->find("restarts")->number, 3.0);
+    EXPECT_NEAR(aborts->find("abort_rate")->number, 3.0 / 13.0, 1e-6);
+    EXPECT_EQ(aborts->find("hottest_lock")->number,
+              static_cast<double>(0x10080));
+    EXPECT_EQ(aborts->find("hottest_lock_contention")->number, 6.0);
+
+    // Empty snapshot: rate 0, no hottest lock.
+    MetricsSnapshot idle;
+    EXPECT_EQ(idle.abortRate(), 0.0);
+    EXPECT_EQ(idle.hottestLock().second, 0u);
+}

@@ -38,10 +38,7 @@
 #include "sim/build_info.hh"
 #include "sim/logging.hh"
 #include "trace/lifecycle.hh"
-#include "workloads/apps.hh"
-#include "workloads/micro.hh"
-#include "workloads/extra.hh"
-#include "workloads/scenarios.hh"
+#include "workloads/registry.hh"
 
 using namespace tlr;
 
@@ -56,6 +53,9 @@ struct Options
     std::string cpus = "8";  ///< comma-separated list
     std::uint64_t ops = 1024;
     std::uint64_t seed = 12345;
+    double theta = 0.6;      // db family: Zipfian key skew
+    unsigned keys = 256;     // db family: key-space size
+    unsigned partitions = 4; // db family: partitions / warehouses
     bool trace = false;
     std::string traceOut;    // Chrome-trace JSON destination
     std::string traceRaw;    // binary trace destination (tlrquery)
@@ -95,6 +95,11 @@ usage()
         "                      hardware concurrency)\n"
         "  --ops=N             total operations / iterations per cpu\n"
         "  --seed=N            deterministic RNG seed\n"
+        "  --theta=X           db workloads: Zipfian key skew in\n"
+        "                      [0,1] (0 = uniform, default 0.6)\n"
+        "  --keys=N            db workloads: key-space size (256)\n"
+        "  --partitions=N      db workloads: partition / warehouse\n"
+        "                      count (4)\n"
         "  --wb-lines=N        speculative write-buffer lines (64)\n"
         "  --victim=N          victim-cache entries (16)\n"
         "  --yield-timeout=N   deadlock-recovery window in cycles\n"
@@ -173,58 +178,15 @@ splitList(const std::string &s)
 Workload
 buildWorkload(const Options &o, int cpus, LockKind kind)
 {
-    MicroParams mp;
-    mp.numCpus = cpus;
-    mp.lockKind = kind;
-    mp.totalOps = o.ops;
-    if (o.workload == "single-counter")
-        return makeSingleCounter(mp);
-    if (o.workload == "multiple-counter")
-        return makeMultipleCounter(mp);
-    if (o.workload == "dlist")
-        return makeDoublyLinkedList(mp);
-    if (o.workload == "reverse-writers")
-        return makeReverseWriters(cpus, o.ops);
-    if (o.workload == "rotated-blocks")
-        return makeRotatedBlocks(cpus, o.ops);
-    for (AppProfile p : allAppProfiles()) {
-        if (o.workload == p.name) {
-            p.itersPerCpu = o.ops;
-            return makeAppKernel(p, cpus, kind);
-        }
-    }
-    if (o.workload == "bank")
-        return makeBankTransfer(cpus, 16, o.ops, kind);
-    if (o.workload == "octree")
-        return makeOctreeInsert(cpus, 2, o.ops, kind);
-    if (o.workload == "history")
-        return makeHistoryCounter(cpus, o.ops, kind);
-    if (o.workload == "mp3d-coarse") {
-        AppProfile p = mp3dCoarseProfile();
-        p.itersPerCpu = o.ops;
-        return makeAppKernel(p, cpus, kind);
-    }
-    fatal("unknown workload '%s' (try --list)", o.workload.c_str());
-}
-
-void
-listWorkloads()
-{
-    std::printf("microbenchmarks (paper Section 5.1):\n"
-                "  multiple-counter  coarse-grain / no conflicts\n"
-                "  single-counter    fine-grain / high conflict\n"
-                "  dlist             fine-grain / dynamic conflicts\n"
-                "scenarios (paper figures):\n"
-                "  reverse-writers   Figures 2/4 conflict pattern\n"
-                "  rotated-blocks    Figure 6 chain pattern\n"
-                "application kernels (paper Table 1):\n");
-    for (const AppProfile &p : allAppProfiles())
-        std::printf("  %s\n", p.name.c_str());
-    std::printf("  mp3d-coarse       one lock over all cells (§6.3)\n"
-                "extended workloads:\n"
-                "  bank              nested ordered account locks\n"
-                "  octree            barnes-like tree-node locking\n"
-                "  history           serialization-witness counter\n");
+    WorkloadParams wp;
+    wp.numCpus = cpus;
+    wp.ops = o.ops;
+    wp.seed = o.seed;
+    wp.lockKind = kind;
+    wp.theta = o.theta;
+    wp.keys = o.keys;
+    wp.partitions = o.partitions;
+    return makeRegisteredWorkload(o.workload, wp);
 }
 
 bool
@@ -580,7 +542,7 @@ runSweepMode(const Options &o, const std::vector<std::string> &schemes,
             if (!out)
                 fatal("cannot write stats file '%s'",
                       o.statsJson.c_str());
-            out << "{\n  \"schema_version\": " << statsSchemaVersion
+            out << "{\n  \"schema_version\": " << metricsSchemaVersion
                 << ",\n  \"meta\": " << buildMetaJson()
                 << ",\n  \"schemes\": {\n";
             for (size_t i = 0; i < merged.size(); ++i) {
@@ -615,6 +577,12 @@ main(int argc, char **argv)
             o.ops = std::strtoull(v.c_str(), nullptr, 0);
         else if (parseFlag(a, "--seed", v))
             o.seed = std::strtoull(v.c_str(), nullptr, 0);
+        else if (parseFlag(a, "--theta", v))
+            o.theta = std::atof(v.c_str());
+        else if (parseFlag(a, "--keys", v))
+            o.keys = static_cast<unsigned>(std::atoi(v.c_str()));
+        else if (parseFlag(a, "--partitions", v))
+            o.partitions = static_cast<unsigned>(std::atoi(v.c_str()));
         else if (parseFlag(a, "--wb-lines", v))
             o.wbLines = static_cast<unsigned>(std::atoi(v.c_str()));
         else if (parseFlag(a, "--victim", v))
@@ -666,7 +634,7 @@ main(int argc, char **argv)
         }
     }
     if (o.listWorkloads) {
-        listWorkloads();
+        std::printf("%s", workloadListText().c_str());
         return 0;
     }
 
