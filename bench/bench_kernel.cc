@@ -18,6 +18,15 @@
  * Usage: bench_kernel [--json=FILE] [--quick]
  * CI runs this and uploads the JSON; compare events/sec across
  * commits to catch host-performance regressions.
+ *
+ * Parallel-kernel mode (BENCH_parallel.json): --threads=N or
+ * --threads-grid=1,2,4,8 measures the partitioned kernel instead —
+ * per worker count: events/sec, speedup over the first grid entry and
+ * parallel efficiency (speedup / workers). Simulated results are
+ * bit-identical across the grid by construction (DESIGN.md §13); only
+ * host throughput varies. host_threads records the machine's
+ * concurrency so readers can judge whether a speedup was measurable
+ * at all.
  */
 
 #include <chrono>
@@ -153,24 +162,154 @@ sweepWall(const std::vector<SweepTask> &tasks, unsigned jobs)
     return secondsSince(t0);
 }
 
+// Parallel-kernel grid: the same full simulation as fullSim() but on
+// the partitioned kernel with a given worker count.
+struct ParallelPoint
+{
+    unsigned threads = 1;
+    double wallSec = 0;
+    double eventsPerSec = 0;
+    std::uint64_t cycles = 0; ///< simulated cycles — grid-invariant
+};
+
+ParallelPoint
+parallelSim(unsigned threads, int reps, std::uint64_t ops)
+{
+    MicroParams p;
+    p.numCpus = 8;
+    p.lockKind = schemeLockKind(Scheme::BaseSleTlr);
+    p.totalOps = ops;
+    ParallelPoint pt;
+    pt.threads = threads;
+    std::uint64_t events = 0;
+    auto t0 = Clock::now();
+    for (int i = 0; i < reps; ++i) {
+        MachineParams mp;
+        mp.numCpus = 8;
+        mp.spec = schemeSpecConfig(Scheme::BaseSleTlr);
+        mp.threads = threads;
+        System sys(mp);
+        installWorkload(sys, makeSingleCounter(p));
+        sys.run();
+        events += sys.kernelEventsExecuted();
+        pt.cycles = sys.completionTick();
+    }
+    pt.wallSec = secondsSince(t0);
+    pt.eventsPerSec =
+        pt.wallSec > 0 ? static_cast<double>(events) / pt.wallSec : 0;
+    return pt;
+}
+
+std::vector<unsigned>
+parseGrid(const std::string &s)
+{
+    std::vector<unsigned> out;
+    size_t pos = 0;
+    while (pos <= s.size()) {
+        size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > pos)
+            out.push_back(static_cast<unsigned>(
+                std::atoi(s.substr(pos, comma - pos).c_str())));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+int
+runParallelGrid(const std::vector<unsigned> &grid, bool quick,
+                const std::string &jsonFile)
+{
+    const int reps = quick ? 5 : 40;
+    const std::uint64_t ops = quick ? 1024 : 4096;
+    std::vector<ParallelPoint> pts;
+    for (unsigned t : grid) {
+        if (t == 0) {
+            std::fprintf(stderr, "--threads values must be >= 1\n");
+            return 1;
+        }
+        pts.push_back(parallelSim(t, reps, ops));
+    }
+    for (size_t i = 1; i < pts.size(); ++i) {
+        if (pts[i].cycles != pts[0].cycles) {
+            std::fprintf(stderr,
+                         "BUG: simulated cycles diverged across the "
+                         "thread grid (%llu @%u vs %llu @%u)\n",
+                         static_cast<unsigned long long>(pts[i].cycles),
+                         pts[i].threads,
+                         static_cast<unsigned long long>(pts[0].cycles),
+                         pts[0].threads);
+            return 1;
+        }
+    }
+
+    std::string json = "{\n  \"schema_version\": " +
+                       std::to_string(statsSchemaVersion) + ",\n";
+    char buf[256];
+    for (const ParallelPoint &pt : pts) {
+        double speedup =
+            pt.wallSec > 0 ? pts[0].wallSec / pt.wallSec : 0;
+        std::snprintf(
+            buf, sizeof(buf),
+            "  \"threads_%u_events_per_sec\": %.0f,\n"
+            "  \"threads_%u_wall_sec\": %.3f,\n"
+            "  \"threads_%u_speedup\": %.3f,\n"
+            "  \"threads_%u_efficiency\": %.3f,\n",
+            pt.threads, pt.eventsPerSec, pt.threads, pt.wallSec,
+            pt.threads, speedup, pt.threads, speedup / pt.threads);
+        json += buf;
+        std::printf("threads=%-2u  %.0f events/s  wall %.3fs  "
+                    "speedup %.2fx  efficiency %.2f\n",
+                    pt.threads, pt.eventsPerSec, pt.wallSec, speedup,
+                    speedup / pt.threads);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  \"simulated_cycles\": %llu,\n"
+                  "  \"host_threads\": %u\n}\n",
+                  static_cast<unsigned long long>(pts[0].cycles),
+                  defaultJobs());
+    json += buf;
+    if (!jsonFile.empty()) {
+        std::ofstream out(jsonFile);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", jsonFile.c_str());
+            return 1;
+        }
+        out << json;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string jsonFile;
+    std::string threadsGrid;
     bool quick = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--json=", 7) == 0)
             jsonFile = argv[i] + 7;
+        else if (std::strncmp(argv[i], "--threads-grid=", 15) == 0)
+            threadsGrid = argv[i] + 15;
+        else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+            if (!threadsGrid.empty())
+                threadsGrid += ",";
+            threadsGrid += argv[i] + 10;
+        }
         else if (std::strcmp(argv[i], "--quick") == 0)
             quick = true;
         else {
             std::fprintf(stderr,
-                         "usage: bench_kernel [--json=FILE] [--quick]\n");
+                         "usage: bench_kernel [--json=FILE] [--quick] "
+                         "[--threads=N ...] [--threads-grid=1,2,4,8]\n");
             return 1;
         }
     }
+    if (!threadsGrid.empty())
+        return runParallelGrid(parseGrid(threadsGrid), quick, jsonFile);
 
     const std::uint64_t smallN = quick ? 400'000 : 4'000'000;
     const std::uint64_t largeN = quick ? 100'000 : 1'000'000;

@@ -18,25 +18,31 @@ DirectoryInterconnect::DirectoryInterconnect(EventQueue &eq,
 void
 DirectoryInterconnect::submit(const BusRequest &req)
 {
+    submitArrive(req, eq_.now());
+}
+
+void
+DirectoryInterconnect::submitArrive(const BusRequest &req, Tick submit_tick)
+{
     BusRequest r = req;
     r.sn = nextSn_++;
     if (TLR_TRACE_ARMED(trace_))
-        trace_->emit(eq_.now(), TraceComp::Dir, TraceEvent::CohSubmit,
+        trace_->emit(submit_tick, TraceComp::Dir, TraceEvent::CohSubmit,
                      r.requester, r.line,
                      static_cast<std::uint64_t>(r.type), r.ts.clock,
                      packTsMeta(r.ts));
     // Request travels to the home node, then queues for the directory
     // pipeline (one ordered transaction per addrOccupancy cycles).
-    eq_.scheduleIn(params_.snoopLatency,
-                   [this, r] {
-                       queue_.push_back(r);
-                       if (!pumpScheduled_) {
-                           pumpScheduled_ = true;
-                           eq_.scheduleIn(0, [this] { pump(); },
-                                          EventPrio::Snoop);
-                       }
-                   },
-                   EventPrio::BusArbitration);
+    eq_.schedule(submit_tick + params_.snoopLatency,
+                 [this, r] {
+                     queue_.push_back(r);
+                     if (!pumpScheduled_) {
+                         pumpScheduled_ = true;
+                         eq_.scheduleIn(0, [this] { pump(); },
+                                        EventPrio::Snoop);
+                     }
+                 },
+                 EventPrio::BusArbitration);
 }
 
 void
@@ -44,7 +50,7 @@ DirectoryInterconnect::traceFwd(const BusRequest &req, CpuId dest,
                                 bool inval)
 {
     if (TLR_TRACE_ARMED(trace_))
-        trace_->emit(eq_.now(), TraceComp::Dir, TraceEvent::CohFwd,
+        trace_->emit(curTick(), TraceComp::Dir, TraceEvent::CohFwd,
                      req.requester, req.line,
                      static_cast<std::uint64_t>(dest),
                      static_cast<std::uint64_t>(req.type),
@@ -61,7 +67,10 @@ DirectoryInterconnect::pump()
     BusRequest req = queue_.front();
     queue_.pop_front();
     ++txnCount_;
-    process(req);
+    if (router_)
+        router_->postGlobal(eq_.now(), [this, req] { process(req); });
+    else
+        process(req);
     eq_.scheduleIn(params_.addrOccupancy, [this] { pump(); },
                    EventPrio::Snoop);
 }
@@ -70,7 +79,7 @@ void
 DirectoryInterconnect::process(const BusRequest &req)
 {
     if (TLR_TRACE_ARMED(trace_))
-        trace_->emit(eq_.now(), TraceComp::Dir, TraceEvent::CohOrder,
+        trace_->emit(curTick(), TraceComp::Dir, TraceEvent::CohOrder,
                      req.requester, req.line,
                      static_cast<std::uint64_t>(req.type), req.sn,
                      req.ts.clock, packTsMeta(req.ts));

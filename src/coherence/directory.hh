@@ -36,6 +36,15 @@ class DirectoryInterconnect : public Interconnect
                           InterconnectParams params);
 
     void submit(const BusRequest &req) override;
+    void submitArrive(const BusRequest &req, Tick submit_tick) override;
+    /** A submit's first effect is its home-node arrival event,
+     *  snoopLatency ticks later. */
+    Tick orderingNotice() const override
+    {
+        return params_.snoopLatency > 0 ? params_.snoopLatency : 1;
+    }
+    /** The directory pump processes (and posts) at its own tick. */
+    Tick globalPostLag() const override { return 0; }
 
     /** Test introspection. */
     CpuId dirOwner(Addr line) const;

@@ -98,18 +98,24 @@ BroadcastInterconnect::addSnooper(Snooper *s)
 void
 BroadcastInterconnect::submit(const BusRequest &req)
 {
+    submitArrive(req, eq_.now());
+}
+
+void
+BroadcastInterconnect::submitArrive(const BusRequest &req, Tick submit_tick)
+{
     BusRequest r = req;
     r.sn = nextSn_++;
     if (TLR_TRACE_ARMED(trace_))
-        trace_->emit(eq_.now(), TraceComp::Bus, TraceEvent::CohSubmit,
+        trace_->emit(submit_tick, TraceComp::Bus, TraceEvent::CohSubmit,
                      r.requester, r.line,
                      static_cast<std::uint64_t>(r.type), r.ts.clock,
                      packTsMeta(r.ts));
     queues_.at(static_cast<size_t>(r.requester)).push_back(r);
     if (!arbScheduled_) {
         arbScheduled_ = true;
-        eq_.scheduleIn(1, [this] { arbitrate(); },
-                       EventPrio::BusArbitration);
+        eq_.schedule(submit_tick + 1, [this] { arbitrate(); },
+                     EventPrio::BusArbitration);
     }
 }
 
@@ -125,8 +131,13 @@ BroadcastInterconnect::arbitrate()
             queues_[idx].pop_front();
             rrNext_ = idx + 1;
             ++txnCount_;
-            eq_.scheduleIn(params_.snoopLatency,
-                           [this, req] { deliver(req); }, EventPrio::Snoop);
+            if (router_)
+                router_->postGlobal(eq_.now() + params_.snoopLatency,
+                                    [this, req] { deliver(req); });
+            else
+                eq_.scheduleIn(params_.snoopLatency,
+                               [this, req] { deliver(req); },
+                               EventPrio::Snoop);
             break;
         }
     }
@@ -144,7 +155,7 @@ void
 BroadcastInterconnect::deliver(BusRequest req)
 {
     if (TLR_TRACE_ARMED(trace_))
-        trace_->emit(eq_.now(), TraceComp::Bus, TraceEvent::CohOrder,
+        trace_->emit(curTick(), TraceComp::Bus, TraceEvent::CohOrder,
                      req.requester, req.line,
                      static_cast<std::uint64_t>(req.type), req.sn,
                      req.ts.clock, packTsMeta(req.ts));

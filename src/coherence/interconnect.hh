@@ -79,6 +79,22 @@ struct InterconnectParams
 };
 
 /**
+ * Hook the parallel kernel implements so an interconnect can hand it
+ * the events that touch more than one partition (snoop deliveries,
+ * directory processing). When no router is attached the interconnect
+ * schedules these on its own event queue, exactly as before.
+ */
+class ParallelRouter
+{
+  public:
+    virtual ~ParallelRouter() = default;
+    /** Execute @p fn serialized across partitions at tick @p when. */
+    virtual void postGlobal(Tick when, std::function<void()> fn) = 0;
+    /** Simulated time of the in-flight global/barrier context. */
+    virtual Tick currentTick() const = 0;
+};
+
+/**
  * Abstract interconnect: request ordering is implementation-specific;
  * the point-to-point message plane (data, markers, probes) is shared.
  */
@@ -92,9 +108,35 @@ class Interconnect
     virtual void addSnooper(Snooper *s);
     void setMemory(MemoryController *mem) { mem_ = mem; }
     void setTrace(TraceSink *sink) { trace_ = sink; }
+    void setRouter(ParallelRouter *router) { router_ = router; }
 
     /** Enqueue an address transaction for ordering. */
     virtual void submit(const BusRequest &req) = 0;
+
+    /**
+     * Parallel-kernel entry point: apply a submit that happened at
+     * @p submit_tick on another partition. Must behave exactly like
+     * submit() issued with now() == submit_tick; the kernel replays
+     * staged submits in deterministic order at window barriers.
+     */
+    virtual void submitArrive(const BusRequest &req, Tick submit_tick) = 0;
+
+    /**
+     * Conservative notice, in ticks, between a submit and the first
+     * ordering-machine event it can create or influence. The kernel
+     * may safely run ordering events up to (but excluding)
+     * submit-frontier + orderingNotice().
+     */
+    virtual Tick orderingNotice() const = 0;
+
+    /**
+     * Minimum delay between an ordering-machine event and any global
+     * it posts via the router. When this is >= the kernel lookahead,
+     * ordering events may run after the window they were pending in;
+     * otherwise the kernel must bound windows at the next pending
+     * ordering event.
+     */
+    virtual Tick globalPostLag() const = 0;
 
     /** @{ Point-to-point messages (data network). */
     void sendData(CpuId to, const DataMsg &msg);
@@ -105,11 +147,17 @@ class Interconnect
     const InterconnectParams &params() const { return params_; }
 
   protected:
+    /** Tick to stamp trace records with: the router's serialized
+     *  execution time when attached, the local queue's otherwise. */
+    Tick curTick() const { return router_ ? router_->currentTick()
+                                          : eq_.now(); }
+
     EventQueue &eq_;
     StatSet &stats_;
     InterconnectParams params_;
     MemoryController *mem_ = nullptr;
     TraceSink *trace_ = nullptr;
+    ParallelRouter *router_ = nullptr;
     std::vector<Snooper *> snoopers_;
     std::uint64_t nextSn_ = 1;
 
@@ -127,6 +175,11 @@ class BroadcastInterconnect : public Interconnect
 
     void addSnooper(Snooper *s) override;
     void submit(const BusRequest &req) override;
+    void submitArrive(const BusRequest &req, Tick submit_tick) override;
+    /** A submit's first effect is arbitration one tick later. */
+    Tick orderingNotice() const override { return 1; }
+    /** Arbitration posts snoop deliveries snoopLatency ticks out. */
+    Tick globalPostLag() const override { return params_.snoopLatency; }
 
   private:
     void arbitrate();

@@ -1,6 +1,7 @@
 #include "coherence/memory_controller.hh"
 
 #include "sim/logging.hh"
+#include "sim/parallel_kernel.hh"
 
 namespace tlr
 {
@@ -37,7 +38,13 @@ MemoryController::supply(const BusRequest &req, bool any_sharer)
         msg.grant = any_sharer ? Grant::SharedData : Grant::ExclusiveData;
 
     CpuId to = req.requester;
-    eq_.scheduleIn(latency, [this, to, msg] { net_.sendData(to, msg); },
+    eq_.scheduleIn(latency,
+                   [this, to, msg] {
+                       if (port_)
+                           port_->sendData(to, msg);
+                       else
+                           net_.sendData(to, msg);
+                   },
                    EventPrio::Default);
 }
 

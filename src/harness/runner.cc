@@ -34,7 +34,7 @@ runWorkload(const MachineParams &mp, const Workload &wl)
     r.busyCycles = s.sum("core", "busyCycles");
     r.traceRecords = sys.traceSink().emitted();
     r.invariantViolations = s.get("trace", "violations");
-    r.kernelEvents = sys.eventQueue().executed();
+    r.kernelEvents = sys.kernelEventsExecuted();
     if (sys.metrics())
         r.metrics = std::make_shared<MetricsSnapshot>(
             sys.metrics()->snapshot());

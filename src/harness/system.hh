@@ -7,6 +7,7 @@
 #ifndef TLR_HARNESS_SYSTEM_HH
 #define TLR_HARNESS_SYSTEM_HH
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "mem/backing_store.hh"
 #include "metrics/collector.hh"
 #include "sim/event_queue.hh"
+#include "sim/parallel_kernel.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "trace/checkers.hh"
@@ -62,6 +64,22 @@ struct MachineParams
     unsigned explainTopK = 10;
     std::uint64_t seed = 12345;
     Tick maxTicks = 2'000'000'000ull; ///< watchdog for livelock studies
+
+    /** Intra-simulation worker threads (DESIGN.md §13). 0 (default)
+     *  keeps the classic single event queue. >= 1 partitions the
+     *  machine into per-CPU + fabric logical processes driven by the
+     *  parallel kernel; results are bit-identical for every value
+     *  >= 1 (threads=1 runs the same partitioned schedule on one
+     *  thread). */
+    unsigned threads = 0;
+    /** Conservative-lookahead override in cycles. 0 derives the
+     *  window size from the timing model:
+     *  min(net.snoopLatency, net.dataLatency), clamped >= 1. Smaller
+     *  values are valid (more barriers, same results; lookahead=1 is
+     *  the stress configuration); requests above the derived bound
+     *  are clamped down — exceeding it would break the
+     *  delivery-horizon guarantee. */
+    Tick lookahead = 0;
 };
 
 class System
@@ -81,6 +99,19 @@ class System
     EventQueue &eventQueue() { return eq_; }
     StatSet &stats() { return stats_; }
     TraceSink &traceSink() { return trace_; }
+    /** The parallel kernel; null in classic (threads == 0) mode. */
+    ParallelKernel *kernel() { return kernel_.get(); }
+    /** Events executed, mode-independent: single queue or the summed
+     *  partition/ordering/global population of the parallel kernel. */
+    std::uint64_t kernelEventsExecuted() const
+    {
+        return kernel_ ? kernel_->eventsExecuted() : eq_.executed();
+    }
+    /** Tick of the last executed event, mode-independent. */
+    Tick simNow() const
+    {
+        return kernel_ ? kernel_->simNow() : eq_.now();
+    }
     /** The attached metrics collector; null unless collectMetrics. */
     MetricsCollector *metrics() { return metrics_.get(); }
     /** The attached explainer; null unless MachineParams::explain. */
@@ -100,8 +131,15 @@ class System
      */
     bool run();
 
-    /** Tick at which the last core halted (parallel execution time). */
-    Tick completionTick() const { return completionTick_; }
+    /** Tick at which the last core halted (parallel execution time);
+     *  0 unless every core halted. */
+    Tick completionTick() const
+    {
+        return haltedCount_.load(std::memory_order_relaxed) ==
+                       params_.numCpus
+                   ? completionTick_.load(std::memory_order_relaxed)
+                   : 0;
+    }
 
     /** Schedule an OS preemption: at tick @p when, core @p cpu stops
      *  for @p duration cycles. An active transaction aborts and its
@@ -116,6 +154,7 @@ class System
     StatSet stats_;
     BackingStore store_;
     TraceSink trace_; ///< before net_/l1s_: they capture its address
+    std::unique_ptr<ParallelKernel> kernel_; ///< null in classic mode
     std::unique_ptr<InvariantRegistry> checkers_;
     std::unique_ptr<MetricsCollector> metrics_;
     std::unique_ptr<Explainer> explain_;
@@ -124,8 +163,11 @@ class System
     std::vector<std::unique_ptr<SpecEngine>> engines_;
     std::vector<std::unique_ptr<L1Controller>> l1s_;
     std::vector<std::unique_ptr<Core>> cores_;
-    int haltedCount_ = 0;
-    Tick completionTick_ = 0;
+    /** Halt hooks fire from worker threads in partitioned mode; the
+     *  count is a plain sum and the completion tick a max, so relaxed
+     *  atomics keep both exact and thread-count independent. */
+    std::atomic<int> haltedCount_{0};
+    std::atomic<Tick> completionTick_{0};
 };
 
 } // namespace tlr

@@ -260,6 +260,32 @@ EventQueue::step()
 }
 
 bool
+EventQueue::peekNext(Tick &when, int &prio)
+{
+    EventNode *n = findEarliest();
+    if (!n)
+        return false;
+    when = n->when;
+    prio = n->prio;
+    return true;
+}
+
+void
+EventQueue::runBounded(Tick bound_tick, int bound_prio)
+{
+    for (;;) {
+        EventNode *n = findEarliest();
+        if (!n)
+            return;
+        if (n->when > bound_tick ||
+            (n->when == bound_tick && n->prio >= bound_prio))
+            return;
+        popFound();
+        fire(n);
+    }
+}
+
+bool
 EventQueue::run(Tick maxTick)
 {
     stopRequested_ = false;

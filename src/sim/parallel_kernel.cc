@@ -1,0 +1,554 @@
+#include "sim/parallel_kernel.hh"
+
+#include <algorithm>
+#include <tuple>
+
+#include "sim/logging.hh"
+
+namespace tlr
+{
+
+namespace
+{
+
+constexpr Tick kNoTick = ~Tick{0};
+
+Tick
+satAdd(Tick a, Tick b)
+{
+    Tick s = a + b;
+    return s < a ? kNoTick : s;
+}
+
+} // namespace
+
+//
+// ---- FabricPort ---------------------------------------------------------
+//
+
+FabricPort::FabricPort(ParallelKernel &kernel, int partition, EventQueue &eq,
+                       StatSet &shard, TraceSink &sink, Tick data_latency,
+                       BackingStore &store)
+    : kernel_(kernel), part_(partition), eq_(eq), trace_(&sink),
+      dataLatency_(data_latency), store_(store),
+      dataMsgs_(shard.counter("net", "dataMsgs")),
+      markerMsgs_(shard.counter("net", "markerMsgs")),
+      probeMsgs_(shard.counter("net", "probeMsgs")),
+      writeBacks_(shard.counter("mem", "writeBacks"))
+{
+}
+
+void
+FabricPort::submit(const BusRequest &req)
+{
+    kernel_.stageSubmit(part_, req, eq_.now());
+}
+
+void
+FabricPort::sendData(CpuId to, const DataMsg &msg)
+{
+    ++dataMsgs_;
+    if (TLR_TRACE_ARMED(trace_))
+        trace_->emit(eq_.now(), TraceComp::Net, TraceEvent::CohData,
+                     msg.from, msg.line,
+                     static_cast<std::uint64_t>(to),
+                     static_cast<std::uint64_t>(msg.grant));
+    kernel_.stageData(part_, to, msg, eq_.now() + dataLatency_);
+}
+
+void
+FabricPort::sendMarker(CpuId to, const MarkerMsg &msg)
+{
+    ++markerMsgs_;
+    if (TLR_TRACE_ARMED(trace_))
+        trace_->emit(eq_.now(), TraceComp::Net, TraceEvent::CohMarker,
+                     msg.from, msg.line,
+                     static_cast<std::uint64_t>(to));
+    kernel_.stageMarker(part_, to, msg, eq_.now() + dataLatency_);
+}
+
+void
+FabricPort::sendProbe(CpuId to, const ProbeMsg &msg)
+{
+    ++probeMsgs_;
+    if (TLR_TRACE_ARMED(trace_))
+        trace_->emit(eq_.now(), TraceComp::Net, TraceEvent::CohProbe,
+                     msg.from, msg.line,
+                     static_cast<std::uint64_t>(to), msg.ts.clock,
+                     packTsMeta(msg.ts));
+    kernel_.stageProbe(part_, to, msg, eq_.now() + dataLatency_);
+}
+
+void
+FabricPort::writeBack(Addr line_addr, const LineData &data)
+{
+    ++writeBacks_;
+    store_.writeLine(line_addr, data);
+}
+
+//
+// ---- ParallelKernel -----------------------------------------------------
+//
+
+ParallelKernel::ParallelKernel(const Config &cfg, BackingStore &store,
+                               TraceSink &real_sink)
+    : cfg_(cfg), store_(store), realSink_(real_sink)
+{
+    if (cfg_.numCpus < 1)
+        fatal("parallel kernel needs at least one cpu");
+    if (cfg_.lookahead < 1)
+        cfg_.lookahead = 1;
+    if (cfg_.dataLatency < cfg_.lookahead)
+        fatal("parallel kernel lookahead %llu exceeds data latency %llu",
+              static_cast<unsigned long long>(cfg_.lookahead),
+              static_cast<unsigned long long>(cfg_.dataLatency));
+    const int numParts = cfg_.numCpus + 1;
+    Rng root(cfg_.seed);
+    parts_.reserve(static_cast<std::size_t>(numParts));
+    for (int p = 0; p < numParts; ++p) {
+        auto part = std::make_unique<Partition>();
+        part->rng = root.fork(partitionSeedSalt(p));
+        part->port = std::make_unique<FabricPort>(
+            *this, p, part->eq, part->stats, part->sink, cfg_.dataLatency,
+            store_);
+        parts_.push_back(std::move(part));
+    }
+    workers_ = cfg_.threads ? cfg_.threads : 1;
+    if (workers_ > static_cast<unsigned>(numParts))
+        workers_ = static_cast<unsigned>(numParts);
+}
+
+ParallelKernel::~ParallelKernel()
+{
+    stopWorkers();
+}
+
+void
+ParallelKernel::addSnooper(Snooper *s)
+{
+    if (s->id() != static_cast<CpuId>(snoopers_.size()))
+        fatal("kernel snoopers must be added in CpuId order");
+    snoopers_.push_back(s);
+}
+
+void
+ParallelKernel::enableCapture()
+{
+    for (auto &p : parts_)
+        p->sink.enableCapture();
+    serialSink_.enableCapture();
+    captureArmed_ = true;
+}
+
+void
+ParallelKernel::setSerialCapture(bool on)
+{
+    if (!captureArmed_)
+        return;
+    for (auto &p : parts_)
+        p->sink.setCaptureRedirect(on ? &serialSink_ : nullptr);
+}
+
+void
+ParallelKernel::stageSubmit(int src, const BusRequest &req, Tick submit_tick)
+{
+    Partition &p = *parts_.at(static_cast<std::size_t>(src));
+    Staged s;
+    s.kind = Staged::Kind::Submit;
+    s.when = submit_tick;
+    s.src = src;
+    s.seq = p.srcSeq++;
+    s.req = req;
+    p.outbox.push_back(std::move(s));
+}
+
+void
+ParallelKernel::stageData(int src, CpuId to, const DataMsg &msg, Tick when)
+{
+    Partition &p = *parts_.at(static_cast<std::size_t>(src));
+    Staged s;
+    s.kind = Staged::Kind::Data;
+    s.when = when;
+    s.src = src;
+    s.seq = p.srcSeq++;
+    s.to = to;
+    s.data = msg;
+    p.outbox.push_back(std::move(s));
+}
+
+void
+ParallelKernel::stageMarker(int src, CpuId to, const MarkerMsg &msg,
+                            Tick when)
+{
+    Partition &p = *parts_.at(static_cast<std::size_t>(src));
+    Staged s;
+    s.kind = Staged::Kind::Marker;
+    s.when = when;
+    s.src = src;
+    s.seq = p.srcSeq++;
+    s.to = to;
+    s.marker = msg;
+    p.outbox.push_back(std::move(s));
+}
+
+void
+ParallelKernel::stageProbe(int src, CpuId to, const ProbeMsg &msg, Tick when)
+{
+    Partition &p = *parts_.at(static_cast<std::size_t>(src));
+    Staged s;
+    s.kind = Staged::Kind::Probe;
+    s.when = when;
+    s.src = src;
+    s.seq = p.srcSeq++;
+    s.to = to;
+    s.probe = msg;
+    p.outbox.push_back(std::move(s));
+}
+
+void
+ParallelKernel::postGlobal(Tick when, std::function<void()> fn)
+{
+    globals_.push_back(Global{when, nextGlobalSeq_++, std::move(fn)});
+}
+
+void
+ParallelKernel::startWorkers()
+{
+    if (workers_ <= 1 || !pool_.empty())
+        return;
+    quit_.store(false, std::memory_order_relaxed);
+    pool_.reserve(workers_ - 1);
+    for (unsigned w = 1; w < workers_; ++w)
+        pool_.emplace_back([this, w] { workerMain(w); });
+}
+
+void
+ParallelKernel::stopWorkers()
+{
+    if (pool_.empty())
+        return;
+    quit_.store(true, std::memory_order_relaxed);
+    gen_.fetch_add(1, std::memory_order_release);
+    for (std::thread &t : pool_)
+        t.join();
+    pool_.clear();
+}
+
+void
+ParallelKernel::workerMain(unsigned w)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        while (gen_.load(std::memory_order_acquire) == seen)
+            std::this_thread::yield();
+        ++seen;
+        if (quit_.load(std::memory_order_relaxed))
+            return;
+        runPartitionsFor(w);
+        done_.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+ParallelKernel::runPartitionsFor(unsigned w)
+{
+    for (std::size_t p = w; p < parts_.size(); p += workers_) {
+        Partition &part = *parts_[p];
+        if (part.error)
+            continue;
+        try {
+            part.eq.runBounded(segBoundTick_, segBoundPrio_);
+        } catch (...) {
+            part.error = std::current_exception();
+            errFlag_.store(true, std::memory_order_release);
+        }
+    }
+}
+
+void
+ParallelKernel::runSegment(Tick bound_tick, int bound_prio)
+{
+    segBoundTick_ = bound_tick;
+    segBoundPrio_ = bound_prio;
+    if (workers_ > 1) {
+        done_.store(0, std::memory_order_relaxed);
+        gen_.fetch_add(1, std::memory_order_release);
+    }
+    runPartitionsFor(0);
+    if (workers_ > 1) {
+        while (done_.load(std::memory_order_acquire) < workers_ - 1)
+            std::this_thread::yield();
+    }
+    if (errFlag_.load(std::memory_order_relaxed))
+        rethrowWorkerError();
+}
+
+void
+ParallelKernel::rethrowWorkerError()
+{
+    stopWorkers();
+    for (auto &p : parts_) {
+        if (p->error) {
+            std::exception_ptr e = p->error;
+            p->error = nullptr;
+            std::rethrow_exception(e);
+        }
+    }
+}
+
+void
+ParallelKernel::advanceOrdering(Tick bound)
+{
+    // Merge staged submits (all below the frontier) with the ordering
+    // machine's own events: an event at tick q runs before a submit
+    // whose issue tick is >= q, matching single-queue priority order
+    // (arbitration/arrival events outrank core-context submits within
+    // a tick).
+    setSerialCapture(true);
+    std::size_t si = 0;
+    for (;;) {
+        Tick q;
+        int qp;
+        const bool has = ordering_.peekNext(q, qp);
+        if (si < stagedSubmits_.size()) {
+            const Staged &s = stagedSubmits_[si];
+            if (!has || q > s.when) {
+                curTick_ = s.when;
+                net_->submitArrive(s.req, s.when);
+                ++si;
+                continue;
+            }
+        }
+        if (!has || q >= bound)
+            break;
+        curTick_ = q;
+        ordering_.step();
+        if (ordering_.now() > simMax_)
+            simMax_ = ordering_.now();
+    }
+    setSerialCapture(false);
+    if (si != stagedSubmits_.size())
+        panic("staged submit at tick %llu not applied (bound %llu)",
+              static_cast<unsigned long long>(stagedSubmits_[si].when),
+              static_cast<unsigned long long>(bound));
+    stagedSubmits_.clear();
+}
+
+Tick
+ParallelKernel::nextPendingTick()
+{
+    Tick t = kNoTick;
+    for (auto &p : parts_)
+        t = std::min(t, p->eq.nextTick());
+    for (const Global &g : globals_)
+        t = std::min(t, g.when);
+    Tick q;
+    int qp;
+    if (ordering_.peekNext(q, qp))
+        t = std::min(t, q);
+    return t;
+}
+
+void
+ParallelKernel::executeWindow(Tick w)
+{
+    // Globals split the window into segments: every partition runs up
+    // to the exact (tick, Snoop) point of the next serialized event,
+    // which then executes alone on the coordinator — the same
+    // interleaving a single queue produces with snoop deliveries at
+    // EventPrio::Snoop.
+    std::sort(globals_.begin(), globals_.end(),
+              [](const Global &a, const Global &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  return a.seq < b.seq;
+              });
+    std::size_t gi = 0;
+    for (; gi < globals_.size() && globals_[gi].when < w; ++gi) {
+        Global &g = globals_[gi];
+        runSegment(g.when, static_cast<int>(EventPrio::Snoop));
+        for (auto &p : parts_)
+            p->eq.advanceNow(g.when);
+        curTick_ = g.when;
+        setSerialCapture(true);
+        g.fn();
+        setSerialCapture(false);
+        ++globalsRun_;
+        if (g.when > simMax_)
+            simMax_ = g.when;
+    }
+    globals_.erase(globals_.begin(),
+                   globals_.begin() + static_cast<std::ptrdiff_t>(gi));
+    runSegment(w, 0);
+    for (auto &p : parts_)
+        if (p->eq.executed() && p->eq.now() > simMax_)
+            simMax_ = p->eq.now();
+}
+
+void
+ParallelKernel::commitOutboxes()
+{
+    sendScratch_.clear();
+    for (auto &pp : parts_) {
+        for (Staged &s : pp->outbox) {
+            if (s.kind == Staged::Kind::Submit)
+                stagedSubmits_.push_back(std::move(s));
+            else
+                sendScratch_.push_back(std::move(s));
+        }
+        pp->outbox.clear();
+    }
+    auto lt = [](const Staged &a, const Staged &b) {
+        return std::make_tuple(a.when, a.src, a.seq) <
+               std::make_tuple(b.when, b.src, b.seq);
+    };
+    std::sort(stagedSubmits_.begin(), stagedSubmits_.end(), lt);
+    std::sort(sendScratch_.begin(), sendScratch_.end(), lt);
+    // Deliveries land at least one lookahead past the window that
+    // produced them, so destination queues have not run past these
+    // ticks; batches across barriers have ascending tick ranges, so
+    // insertion order (hence seq order within a tick) is independent
+    // of the lookahead and worker count.
+    for (const Staged &s : sendScratch_) {
+        Snooper *sn = snoopers_.at(static_cast<std::size_t>(s.to));
+        EventQueue &dq = parts_.at(static_cast<std::size_t>(s.to) + 1)->eq;
+        switch (s.kind) {
+          case Staged::Kind::Data: {
+            DataMsg m = s.data;
+            dq.schedule(s.when, [sn, m] { sn->dataResponse(m); },
+                        EventPrio::DataResponse);
+            break;
+          }
+          case Staged::Kind::Marker: {
+            MarkerMsg m = s.marker;
+            dq.schedule(s.when, [sn, m] { sn->marker(m); },
+                        EventPrio::DataResponse);
+            break;
+          }
+          case Staged::Kind::Probe: {
+            ProbeMsg m = s.probe;
+            dq.schedule(s.when, [sn, m] { sn->probe(m); },
+                        EventPrio::DataResponse);
+            break;
+          }
+          case Staged::Kind::Submit:
+            break;
+        }
+    }
+}
+
+void
+ParallelKernel::flushTrace()
+{
+    if (!captureArmed_)
+        return;
+    struct Key
+    {
+        Tick tick;
+        int part; ///< -1 = serial buffer; sorts before partitions
+        std::size_t idx;
+    };
+    std::size_t total = serialSink_.captured().size();
+    for (auto &p : parts_)
+        total += p->sink.captured().size();
+    if (total == 0)
+        return;
+    std::vector<Key> keys;
+    keys.reserve(total);
+    {
+        const auto &buf = serialSink_.captured();
+        for (std::size_t i = 0; i < buf.size(); ++i)
+            keys.push_back(Key{buf[i].tick, -1, i});
+    }
+    for (int p = 0; p < numPartitions(); ++p) {
+        const auto &buf = parts_[static_cast<std::size_t>(p)]->sink
+                              .captured();
+        for (std::size_t i = 0; i < buf.size(); ++i)
+            keys.push_back(Key{buf[i].tick, p, i});
+    }
+    // (tick, buffer, emission index) order. Everything buffered
+    // predates the current frontier, so later flushes only ever
+    // append later ticks and the stitched stream is globally
+    // tick-sorted. Within a tick the serialized-phase records come
+    // first — partition events at that tick ran after the serialized
+    // split point — in their exact emission order; partition records
+    // follow in (partition, emission) order.
+    std::sort(keys.begin(), keys.end(), [](const Key &a, const Key &b) {
+        if (a.tick != b.tick)
+            return a.tick < b.tick;
+        if (a.part != b.part)
+            return a.part < b.part;
+        return a.idx < b.idx;
+    });
+    for (const Key &k : keys) {
+        const TraceRecord &r =
+            k.part < 0 ?
+                serialSink_.captured()[k.idx] :
+                parts_[static_cast<std::size_t>(k.part)]->sink
+                    .captured()[k.idx];
+        realSink_.emitRecord(r);
+    }
+    serialSink_.captured().clear();
+    for (auto &p : parts_)
+        p->sink.captured().clear();
+}
+
+bool
+ParallelKernel::run()
+{
+    if (!net_)
+        fatal("parallel kernel started without an interconnect");
+    startWorkers();
+    struct StopGuard
+    {
+        ParallelKernel *k;
+        ~StopGuard() { k->stopWorkers(); }
+    } stop{this};
+
+    const Tick maxT = cfg_.maxTicks;
+    const Tick maxBound = satAdd(maxT, 1);
+    const Tick notice = net_->orderingNotice();
+    // When ordering events post globals at (or near) their own tick —
+    // the directory pump — a window may not run past a pending
+    // ordering event; the broadcast bus posts snoopLatency out, which
+    // always covers the lookahead, so its windows stay full-size.
+    const bool boundAtOrdering = net_->globalPostLag() < cfg_.lookahead;
+    Tick frontier = 0;
+    for (;;) {
+        advanceOrdering(std::min(satAdd(frontier, notice), maxBound));
+        flushTrace();
+        Tick t = nextPendingTick();
+        if (t == kNoTick)
+            return true;
+        if (t > maxT)
+            return false;
+        Tick w = std::min(satAdd(t, cfg_.lookahead), maxBound);
+        if (boundAtOrdering) {
+            Tick q;
+            int qp;
+            if (ordering_.peekNext(q, qp) && q < w)
+                w = q;
+        }
+        executeWindow(w);
+        commitOutboxes();
+        frontier = w;
+    }
+}
+
+std::uint64_t
+ParallelKernel::eventsExecuted() const
+{
+    std::uint64_t total = ordering_.executed() + globalsRun_;
+    for (const auto &p : parts_)
+        total += p->eq.executed();
+    return total;
+}
+
+void
+ParallelKernel::mergeStatsInto(StatSet &dst) const
+{
+    for (const auto &p : parts_)
+        dst.mergeFrom(p->stats);
+}
+
+} // namespace tlr

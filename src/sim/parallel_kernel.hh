@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Parallel discrete-event simulation kernel (DESIGN.md §13).
+ *
+ * Partitions one simulated machine into logical processes — one per
+ * CPU (core + speculation engine + L1 controller) plus a fabric
+ * partition (memory controller) — each owning a private pooled
+ * timing-wheel EventQueue, a StatSet shard, a capture-mode TraceSink
+ * and an independently seeded Rng stream. Worker threads advance the
+ * partitions through conservative bounded windows derived from the
+ * minimum cross-partition message latency (lookahead); everything a
+ * partition does inside a window is local by construction.
+ *
+ * Cross-partition traffic never touches a foreign queue directly:
+ *
+ *  - point-to-point messages (data/marker/probe, latency >= lookahead)
+ *    are staged in per-partition outboxes and committed at window
+ *    barriers in deterministic (tick, source partition, seq) order;
+ *  - address-network submits are staged the same way and replayed
+ *    into the interconnect's private *ordering* EventQueue, which the
+ *    coordinator advances between windows (the interconnect tells the
+ *    kernel how far is safe via Interconnect::orderingNotice());
+ *  - snoop deliveries / directory processing, which touch many
+ *    partitions at once, come back from the ordering machine as
+ *    *globals* (ParallelRouter::postGlobal) and run serialized on the
+ *    coordinator at exact (tick, Snoop-priority) split points inside
+ *    the window.
+ *
+ * The result is bit-identical to itself for every worker count: the
+ * window/barrier/commit schedule depends only on the configuration,
+ * never on thread interleaving. tests/test_determinism.cc and
+ * tests/test_parallel.cc pin cycles, stats JSON and raw-trace bytes
+ * across --threads=1/2/4/8 for the full scheme x workload matrix.
+ */
+
+#ifndef TLR_SIM_PARALLEL_KERNEL_HH
+#define TLR_SIM_PARALLEL_KERNEL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "coherence/interconnect.hh"
+#include "coherence/messages.hh"
+#include "mem/backing_store.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "trace/sink.hh"
+
+namespace tlr
+{
+
+class ParallelKernel;
+
+/**
+ * Per-partition fabric endpoint. Components constructed on a
+ * partition (L1 controllers, the memory controller) send through
+ * their FabricPort instead of calling the interconnect directly; the
+ * port counts and traces the send locally (shard / capture sink) and
+ * stages the message for barrier-ordered delivery.
+ */
+class FabricPort
+{
+  public:
+    FabricPort(ParallelKernel &kernel, int partition, EventQueue &eq,
+               StatSet &shard, TraceSink &sink, Tick data_latency,
+               BackingStore &store);
+
+    /** Address-network submit; ordered at the next window barrier. */
+    void submit(const BusRequest &req);
+
+    /** @{ Point-to-point sends; mirror Interconnect::send*. */
+    void sendData(CpuId to, const DataMsg &msg);
+    void sendMarker(CpuId to, const MarkerMsg &msg);
+    void sendProbe(CpuId to, const ProbeMsg &msg);
+    /** @} */
+
+    /** Functional writeback; mirrors MemoryController::writeBack. */
+    void writeBack(Addr line_addr, const LineData &data);
+
+  private:
+    ParallelKernel &kernel_;
+    const int part_;
+    EventQueue &eq_;
+    TraceSink *trace_;
+    const Tick dataLatency_;
+    BackingStore &store_;
+    std::uint64_t &dataMsgs_;
+    std::uint64_t &markerMsgs_;
+    std::uint64_t &probeMsgs_;
+    std::uint64_t &writeBacks_;
+};
+
+class ParallelKernel : public ParallelRouter
+{
+  public:
+    struct Config
+    {
+        int numCpus = 0;
+        unsigned threads = 1;  ///< worker count (capped at partitions)
+        Tick lookahead = 1;    ///< conservative window size, >= 1
+        Tick maxTicks = ~Tick{0};
+        std::uint64_t seed = 0;
+        Tick dataLatency = 20; ///< for FabricPort staging
+    };
+
+    /** @param real_sink the System's sink; stitched records replay
+     *  into it at window barriers. */
+    ParallelKernel(const Config &cfg, BackingStore &store,
+                   TraceSink &real_sink);
+    ~ParallelKernel() override;
+
+    int numPartitions() const { return static_cast<int>(parts_.size()); }
+
+    /** Partition 0 is the fabric (memory controller); partition i+1
+     *  owns CPU i's core, engine and L1. */
+    EventQueue &queue(int p) { return parts_.at(p)->eq; }
+    StatSet &shard(int p) { return parts_.at(p)->stats; }
+    TraceSink &sink(int p) { return parts_.at(p)->sink; }
+    FabricPort &port(int p) { return *parts_.at(p)->port; }
+    Rng &partitionRng(int p) { return parts_.at(p)->rng; }
+
+    /** Salt a partition's Rng stream is forked with from the machine
+     *  seed; pinned by a golden-vector test so the derivation never
+     *  drifts silently. */
+    static std::uint64_t
+    partitionSeedSalt(int p)
+    {
+        return 0x70617274ull + static_cast<std::uint64_t>(p);
+    }
+
+    /** The ordering machine's queue (arbitration / directory pump
+     *  events); the interconnect is constructed on it. */
+    EventQueue &orderingQueue() { return ordering_; }
+
+    void setInterconnect(Interconnect *net) { net_ = net; }
+
+    /** Register delivery targets, in CpuId order (same set the
+     *  interconnect snoops). */
+    void addSnooper(Snooper *s);
+
+    /** Arm every partition's capture sink (call before run() when the
+     *  real sink is armed; otherwise tracing stays zero-overhead). */
+    void enableCapture();
+
+    /** @{ FabricPort staging entry points (worker context). */
+    void stageSubmit(int src, const BusRequest &req, Tick submit_tick);
+    void stageData(int src, CpuId to, const DataMsg &msg, Tick when);
+    void stageMarker(int src, CpuId to, const MarkerMsg &msg, Tick when);
+    void stageProbe(int src, CpuId to, const ProbeMsg &msg, Tick when);
+    /** @} */
+
+    /** @{ ParallelRouter (called by the interconnect). */
+    void postGlobal(Tick when, std::function<void()> fn) override;
+    Tick currentTick() const override { return curTick_; }
+    /** @} */
+
+    /**
+     * Drive the machine to completion.
+     * @return true if every queue drained, false if maxTicks cut the
+     *         run short (watchdog; livelock experiments).
+     */
+    bool run();
+
+    /** Tick of the last executed event, across all partitions, the
+     *  ordering machine and serialized globals. */
+    Tick simNow() const { return simMax_; }
+
+    /** Total events executed (partitions + ordering + globals); the
+     *  same population a single-queue run counts in executed(). */
+    std::uint64_t eventsExecuted() const;
+
+    /** Fold every partition shard into @p dst (exact: counters are
+     *  plain sums). */
+    void mergeStatsInto(StatSet &dst) const;
+
+  private:
+    struct Staged
+    {
+        enum class Kind : std::uint8_t { Submit, Data, Marker, Probe };
+        Kind kind = Kind::Submit;
+        Tick when = 0;    ///< submit tick / delivery tick
+        int src = 0;      ///< staging partition
+        std::uint64_t seq = 0; ///< per-source monotone sequence
+        CpuId to = invalidCpu;
+        BusRequest req{};
+        DataMsg data{};
+        MarkerMsg marker{};
+        ProbeMsg probe{};
+    };
+
+    struct Global
+    {
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        std::function<void()> fn;
+    };
+
+    struct Partition
+    {
+        EventQueue eq;
+        StatSet stats;
+        TraceSink sink;
+        Rng rng;
+        std::unique_ptr<FabricPort> port;
+        std::vector<Staged> outbox;
+        std::uint64_t srcSeq = 0;
+        std::exception_ptr error;
+    };
+
+    /** Redirect every partition sink's capture buffer to the shared
+     *  serial sink (on) or back to itself (off). Serialized phases —
+     *  ordering replays and globals — emit through whichever
+     *  component is acting, so only a shared buffer preserves their
+     *  exact emission order; it sorts before partition records at
+     *  equal ticks because those run after the serialized point. */
+    void setSerialCapture(bool on);
+
+    void startWorkers();
+    void stopWorkers();
+    void workerMain(unsigned w);
+    void runPartitionsFor(unsigned w);
+    /** Run every partition up to (bound_tick, bound_prio) and join. */
+    void runSegment(Tick bound_tick, int bound_prio);
+    void rethrowWorkerError();
+
+    /** Apply staged submits interleaved with ordering-machine events
+     *  up to (excluding) @p bound, in deterministic order. */
+    void advanceOrdering(Tick bound);
+    /** Earliest pending tick across partitions, globals and the
+     *  ordering machine; ~Tick{0} when everything drained. */
+    Tick nextPendingTick();
+    /** Execute one bounded window [frontier, w). */
+    void executeWindow(Tick w);
+    /** Move outboxes into the commit lists; schedule deliveries. */
+    void commitOutboxes();
+    /** Stitch partition capture buffers into tick order and replay
+     *  them through the real sink. */
+    void flushTrace();
+
+    Config cfg_;
+    BackingStore &store_;
+    TraceSink &realSink_;
+    Interconnect *net_ = nullptr;
+    EventQueue ordering_;
+    std::vector<std::unique_ptr<Partition>> parts_;
+    std::vector<Snooper *> snoopers_;
+
+    std::vector<Staged> stagedSubmits_; ///< pending, (when, src, seq)
+    std::vector<Staged> sendScratch_;
+    std::vector<Global> globals_;
+    std::uint64_t nextGlobalSeq_ = 0;
+    std::uint64_t globalsRun_ = 0;
+    bool captureArmed_ = false;
+    TraceSink serialSink_; ///< serialized-phase capture buffer
+
+    Tick curTick_ = 0;  ///< serialized-context time (globals/barriers)
+    Tick simMax_ = 0;
+
+    /** @{ worker pool: generation-counter barrier. The coordinator
+     *  doubles as worker 0; worker threads cover partitions
+     *  p % workers == w. Segment bounds are plain fields published by
+     *  the gen_ release-increment and read after the acquire-load. */
+    unsigned workers_ = 1;
+    Tick segBoundTick_ = 0;
+    int segBoundPrio_ = 0;
+    std::atomic<std::uint64_t> gen_{0};
+    std::atomic<unsigned> done_{0};
+    std::atomic<bool> quit_{false};
+    std::atomic<bool> errFlag_{false};
+    std::vector<std::thread> pool_;
+    /** @} */
+};
+
+} // namespace tlr
+
+#endif // TLR_SIM_PARALLEL_KERNEL_HH

@@ -19,6 +19,7 @@
 #include "harness/system.hh"
 #include "sim/event_queue.hh"
 #include "workloads/micro.hh"
+#include "workloads/registry.hh"
 #include "workloads/workload.hh"
 
 using namespace tlr;
@@ -53,6 +54,25 @@ statsJson(Scheme s, int cpus, std::uint64_t ops)
     installWorkload(sys, makeSingleCounter(microParams(s, cpus, ops)));
     EXPECT_TRUE(sys.run());
     return sys.stats().dumpJson();
+}
+
+// One run on the parallel kernel; returns "cycles\n<stats json>" so a
+// single string equality covers both the simulated-time result and
+// every counter.
+std::string
+parallelFingerprint(Scheme s, Protocol proto, int cpus, std::uint64_t ops,
+                    unsigned threads, Tick lookahead = 0)
+{
+    MachineParams mp = machineParams(s, cpus);
+    mp.protocol = proto;
+    mp.threads = threads;
+    mp.lookahead = lookahead;
+    System sys(mp);
+    installWorkload(sys, makeSingleCounter(microParams(s, cpus, ops)));
+    EXPECT_TRUE(sys.run());
+    return std::to_string(sys.completionTick()) + "/" +
+           std::to_string(sys.kernelEventsExecuted()) + "\n" +
+           sys.stats().dumpJson();
 }
 
 } // namespace
@@ -109,6 +129,90 @@ TEST(Determinism, FullRunStatsJsonStableAcrossRepeats)
     EXPECT_EQ(a.commits, b.commits);
     EXPECT_EQ(a.restarts, b.restarts);
     EXPECT_EQ(a.kernelEvents, b.kernelEvents);
+}
+
+// DESIGN.md §13 hard requirement: the partitioned kernel's results
+// are bit-identical for every worker count, per scheme and protocol.
+// The schedule (windows, barriers, commit order) depends only on the
+// configuration, so threads=2/4/8 must reproduce threads=1 exactly —
+// simulated cycles, event population and every counter.
+TEST(ParallelDeterminism, ThreadCountBitIdenticalAllSchemes)
+{
+    for (Scheme s : {Scheme::Base, Scheme::BaseSle, Scheme::BaseSleTlr,
+                     Scheme::TlrStrictTs, Scheme::Mcs}) {
+        for (Protocol proto : {Protocol::Broadcast, Protocol::Directory}) {
+            std::string base =
+                parallelFingerprint(s, proto, 4, 128, 1);
+            for (unsigned t : {2u, 4u, 8u}) {
+                EXPECT_EQ(base, parallelFingerprint(s, proto, 4, 128, t))
+                    << schemeName(s) << " proto "
+                    << (proto == Protocol::Directory ? "dir" : "bus")
+                    << " threads " << t;
+            }
+        }
+    }
+}
+
+TEST(ParallelDeterminism, LookaheadOneStressBitIdentical)
+{
+    // lookahead=1 maximizes barrier count — every window is a single
+    // tick wide. More synchronization, identical results.
+    for (Protocol proto : {Protocol::Broadcast, Protocol::Directory}) {
+        std::string base =
+            parallelFingerprint(Scheme::BaseSleTlr, proto, 4, 128, 1);
+        EXPECT_EQ(base, parallelFingerprint(Scheme::BaseSleTlr, proto, 4,
+                                            128, 4, 1));
+        EXPECT_EQ(base, parallelFingerprint(Scheme::BaseSleTlr, proto, 4,
+                                            128, 1, 1));
+    }
+}
+
+TEST(ParallelDeterminism, OversizedLookaheadClampedNotFatal)
+{
+    // Requests past min(snoopLatency, dataLatency) are clamped to the
+    // derived bound, so the result matches the default window size.
+    std::string base = parallelFingerprint(Scheme::BaseSleTlr,
+                                           Protocol::Broadcast, 4, 128, 2);
+    EXPECT_EQ(base, parallelFingerprint(Scheme::BaseSleTlr,
+                                        Protocol::Broadcast, 4, 128, 2,
+                                        1'000'000));
+}
+
+TEST(ParallelDeterminism, DbWorkloadBitIdentical)
+{
+    WorkloadParams wp;
+    wp.numCpus = 4;
+    wp.ops = 48;
+    wp.seed = 7;
+    auto fp = [&](unsigned threads) {
+        MachineParams mp = machineParams(Scheme::BaseSleTlr, 4);
+        mp.threads = threads;
+        wp.lockKind = schemeLockKind(Scheme::BaseSleTlr);
+        System sys(mp);
+        installWorkload(sys, makeRegisteredWorkload("ycsb-a", wp));
+        EXPECT_TRUE(sys.run());
+        return std::to_string(sys.completionTick()) + "\n" +
+               sys.stats().dumpJson();
+    };
+    std::string base = fp(1);
+    EXPECT_EQ(base, fp(2));
+    EXPECT_EQ(base, fp(8));
+}
+
+TEST(ParallelDeterminism, WatchdogBitIdenticalAcrossThreads)
+{
+    auto fp = [&](unsigned threads) {
+        MachineParams mp = machineParams(Scheme::BaseSleTlr, 4);
+        mp.threads = threads;
+        mp.maxTicks = 3000; // cut the run short
+        System sys(mp);
+        installWorkload(
+            sys, makeSingleCounter(
+                     microParams(Scheme::BaseSleTlr, 4, 100000)));
+        EXPECT_FALSE(sys.run()); // watchdog, not completion
+        return sys.stats().dumpJson();
+    };
+    EXPECT_EQ(fp(1), fp(4));
 }
 
 TEST(EventPool, SmallCapturesStayInline)

@@ -68,7 +68,9 @@ struct Options
     bool metrics = false;    // latency/contention/traffic profiling
     std::string statsJson;   // JSON counter dump destination
     std::string benchJson;   // per-config host-perf dump destination
-    unsigned jobs = 0;       // 0 = hardware concurrency
+    unsigned jobs = 0;       // 0 = auto (see resolveJobs)
+    unsigned threads = 0;    // intra-sim workers; 0 = classic kernel
+    Tick lookahead = 0;      // 0 = derive from the timing model
     size_t ringCapacity = 4096;
     std::string statsPrefix; // empty = no dump; "all" = everything
     Tick maxTicks = 2'000'000'000ull;
@@ -91,8 +93,19 @@ usage()
         "  --cpus=N[,N...]     processor count(s) (default 8); more\n"
         "                      than one (scheme, cpus) combination\n"
         "                      runs as a host-parallel sweep\n"
-        "  --jobs=N            host threads for a sweep (default:\n"
-        "                      hardware concurrency)\n"
+        "  --jobs=N|auto       host threads for a sweep; auto (the\n"
+        "                      default) divides the hardware\n"
+        "                      concurrency by --threads so the two\n"
+        "                      levels share one core budget\n"
+        "  --threads=N|auto    worker threads inside each simulation\n"
+        "                      (parallel kernel; DESIGN.md §13).\n"
+        "                      Default 0 = classic single-queue\n"
+        "                      kernel; any N >= 1 is bit-identical to\n"
+        "                      every other N >= 1. auto = hardware\n"
+        "                      concurrency\n"
+        "  --lookahead=N       conservative window override in cycles\n"
+        "                      (0 = derive from the timing model;\n"
+        "                      smaller = more barriers, same results)\n"
         "  --ops=N             total operations / iterations per cpu\n"
         "  --seed=N            deterministic RNG seed\n"
         "  --theta=X           db workloads: Zipfian key skew in\n"
@@ -217,6 +230,8 @@ buildMachineParams(const Options &o, Scheme scheme, int cpus)
     mp.seed = o.seed;
     mp.maxTicks = o.maxTicks;
     mp.collectMetrics = o.metrics;
+    mp.threads = o.threads;
+    mp.lookahead = o.lookahead;
     return mp;
 }
 
@@ -430,7 +445,7 @@ runSingle(const Options &o, const std::string &schemeStr, int cpus)
         row.stats.completed = completed;
         row.stats.valid = valid;
         row.stats.cycles = sys.completionTick();
-        row.stats.kernelEvents = sys.eventQueue().executed();
+        row.stats.kernelEvents = sys.kernelEventsExecuted();
         row.wallSec = wallSec;
         writeBenchJson(o, {row});
     }
@@ -476,7 +491,7 @@ runSweepMode(const Options &o, const std::vector<std::string> &schemes,
                      r.completed = sys.run();
                      r.valid = wl.validate ? wl.validate(sys) : true;
                      r.cycles = sys.completionTick();
-                     r.kernelEvents = sys.eventQueue().executed();
+                     r.kernelEvents = sys.kernelEventsExecuted();
                      r.commits = sys.stats().sum("spec", "commits");
                      r.restarts = sys.stats().sum("spec", "restarts");
                      if (sys.metrics())
@@ -491,10 +506,13 @@ runSweepMode(const Options &o, const std::vector<std::string> &schemes,
         }
     }
 
-    unsigned jobs = o.jobs ? o.jobs : defaultJobs();
+    // --jobs and --threads share one core budget: an unspecified jobs
+    // count is divided by the per-simulation worker count.
+    unsigned jobs = resolveJobs(o.jobs, o.threads);
     std::printf("sweep: %zu configs of workload=%s on %u host "
-                "thread(s)\n",
-                tasks.size(), o.workload.c_str(), jobs);
+                "thread(s), %u intra-sim worker(s) each\n",
+                tasks.size(), o.workload.c_str(), jobs,
+                o.threads ? o.threads : 1);
     std::vector<SweepResult> res = runSweep(tasks, jobs);
 
     Table t({"scheme", "cpus", "completed", "valid", "cycles",
@@ -572,7 +590,15 @@ main(int argc, char **argv)
         else if (parseFlag(a, "--protocol", v)) o.protocol = v;
         else if (parseFlag(a, "--cpus", v)) o.cpus = v;
         else if (parseFlag(a, "--jobs", v))
-            o.jobs = static_cast<unsigned>(std::atoi(v.c_str()));
+            o.jobs = v == "auto" ?
+                         0 :
+                         static_cast<unsigned>(std::atoi(v.c_str()));
+        else if (parseFlag(a, "--threads", v))
+            o.threads = v == "auto" ?
+                            defaultJobs() :
+                            static_cast<unsigned>(std::atoi(v.c_str()));
+        else if (parseFlag(a, "--lookahead", v))
+            o.lookahead = std::strtoull(v.c_str(), nullptr, 0);
         else if (parseFlag(a, "--ops", v))
             o.ops = std::strtoull(v.c_str(), nullptr, 0);
         else if (parseFlag(a, "--seed", v))
