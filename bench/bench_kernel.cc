@@ -41,6 +41,7 @@
 #include "harness/system.hh"
 #include "sim/build_info.hh"
 #include "workloads/micro.hh"
+#include "workloads/registry.hh"
 #include "workloads/workload.hh"
 
 using namespace tlr;
@@ -162,23 +163,55 @@ sweepWall(const std::vector<SweepTask> &tasks, unsigned jobs)
     return secondsSince(t0);
 }
 
-// Parallel-kernel grid: the same full simulation as fullSim() but on
-// the partitioned kernel with a given worker count.
+// Parallel-kernel grid: a full ycsb-a simulation (contended enough to
+// keep the serialized phases busy) on the partitioned kernel with a
+// given worker count, plus the phase-attribution counters the batched
+// scheduling overhaul is judged by. The compat configuration reruns
+// the PR-7 schedule: one barrier pair per serialized global, fixed
+// worst-case windows, no snoop filter.
 struct ParallelPoint
 {
     unsigned threads = 1;
     double wallSec = 0;
     double eventsPerSec = 0;
     std::uint64_t cycles = 0; ///< simulated cycles — grid-invariant
+    std::uint64_t events = 0; ///< one run's event population
+    /** @{ pkernel phase counters from one run (thread-invariant) */
+    std::uint64_t windows = 0;
+    std::uint64_t barriers = 0;
+    std::uint64_t barrierSkips = 0;
+    std::uint64_t inlineSegments = 0;
+    std::uint64_t serialGlobals = 0;
+    std::uint64_t serialOps = 0;
+    std::uint64_t orderingEvents = 0;
+    std::uint64_t partitionEvents = 0;
+    /** @} */
+    ParallelKernel::PhaseProfile prof{}; ///< host-ns attribution
+
+    /** Share of the event population executed in serialized phases:
+     *  the globals themselves plus every controller operation they
+     *  perform while partitions are parked. */
+    double serialShare() const
+    {
+        return events ? static_cast<double>(serialGlobals + serialOps) /
+                            static_cast<double>(events)
+                      : 0;
+    }
+    double barriersPerKcycle() const
+    {
+        return cycles ? 1000.0 * static_cast<double>(barriers) /
+                            static_cast<double>(cycles)
+                      : 0;
+    }
 };
 
 ParallelPoint
-parallelSim(unsigned threads, int reps, std::uint64_t ops)
+parallelSim(unsigned threads, int reps, std::uint64_t ops, bool compat)
 {
-    MicroParams p;
-    p.numCpus = 8;
-    p.lockKind = schemeLockKind(Scheme::BaseSleTlr);
-    p.totalOps = ops;
+    WorkloadParams wp;
+    wp.numCpus = 8;
+    wp.ops = ops;
+    wp.lockKind = schemeLockKind(Scheme::BaseSleTlr);
     ParallelPoint pt;
     pt.threads = threads;
     std::uint64_t events = 0;
@@ -188,11 +221,30 @@ parallelSim(unsigned threads, int reps, std::uint64_t ops)
         mp.numCpus = 8;
         mp.spec = schemeSpecConfig(Scheme::BaseSleTlr);
         mp.threads = threads;
+        mp.profilePhases = true;
+        if (compat) {
+            mp.batchedGlobals = false;
+            mp.dynamicLookahead = false;
+            mp.net.snoopFilter = false;
+        }
         System sys(mp);
-        installWorkload(sys, makeSingleCounter(p));
+        installWorkload(sys, makeRegisteredWorkload("ycsb-a", wp));
         sys.run();
         events += sys.kernelEventsExecuted();
         pt.cycles = sys.completionTick();
+        if (i == reps - 1) {
+            pt.events = sys.kernelEventsExecuted();
+            const StatSet &st = sys.stats();
+            pt.windows = st.get("pkernel", "windows");
+            pt.barriers = st.get("pkernel", "barriers");
+            pt.barrierSkips = st.get("pkernel", "barrierSkips");
+            pt.inlineSegments = st.get("pkernel", "inlineSegments");
+            pt.serialGlobals = st.get("pkernel", "serialGlobals");
+            pt.serialOps = st.get("pkernel", "serialOps");
+            pt.orderingEvents = st.get("pkernel", "orderingEvents");
+            pt.partitionEvents = st.get("pkernel", "partitionEvents");
+            pt.prof = sys.kernel()->phaseProfile();
+        }
     }
     pt.wallSec = secondsSince(t0);
     pt.eventsPerSec =
@@ -221,15 +273,15 @@ int
 runParallelGrid(const std::vector<unsigned> &grid, bool quick,
                 const std::string &jsonFile)
 {
-    const int reps = quick ? 5 : 40;
-    const std::uint64_t ops = quick ? 1024 : 4096;
+    const int reps = quick ? 3 : 10;
+    const std::uint64_t ops = quick ? 256 : 1024;
     std::vector<ParallelPoint> pts;
     for (unsigned t : grid) {
         if (t == 0) {
             std::fprintf(stderr, "--threads values must be >= 1\n");
             return 1;
         }
-        pts.push_back(parallelSim(t, reps, ops));
+        pts.push_back(parallelSim(t, reps, ops, false));
     }
     for (size_t i = 1; i < pts.size(); ++i) {
         if (pts[i].cycles != pts[0].cycles) {
@@ -243,10 +295,32 @@ runParallelGrid(const std::vector<unsigned> &grid, bool quick,
             return 1;
         }
     }
+    // PR-7 compat schedule on the same workload: the baseline the
+    // batched/dynamic/filtered overhaul is measured against.
+    ParallelPoint compat = parallelSim(grid[0], reps, ops, true);
+
+    const ParallelPoint &pt0 = pts[0];
+    double serialReduction =
+        pt0.serialShare() > 0 ? compat.serialShare() / pt0.serialShare()
+                              : 0;
+    // Simulated cycles are policy-invariant, so the count ratio IS the
+    // per-kcycle ratio; the floor-1 denominator keeps the fully-
+    // eliminated case (new kernel: zero barriers) finite.
+    double barrierReduction =
+        static_cast<double>(compat.barriers) /
+        static_cast<double>(pt0.barriers ? pt0.barriers : 1);
+    std::uint64_t profTotal =
+        pt0.prof.barrierWaitNs + pt0.prof.serialGlobalNs +
+        pt0.prof.orderingNs + pt0.prof.partitionNs + pt0.prof.commitNs;
+    auto share = [&](std::uint64_t ns) {
+        return profTotal ? static_cast<double>(ns) /
+                               static_cast<double>(profTotal)
+                         : 0;
+    };
 
     std::string json = "{\n  \"schema_version\": " +
                        std::to_string(statsSchemaVersion) + ",\n";
-    char buf[256];
+    char buf[1024];
     for (const ParallelPoint &pt : pts) {
         double speedup =
             pt.wallSec > 0 ? pts[0].wallSec / pt.wallSec : 0;
@@ -264,6 +338,69 @@ runParallelGrid(const std::vector<unsigned> &grid, bool quick,
                     pt.threads, pt.eventsPerSec, pt.wallSec, speedup,
                     speedup / pt.threads);
     }
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"phase_windows\": %llu,\n"
+        "  \"phase_barriers\": %llu,\n"
+        "  \"phase_barrier_skips\": %llu,\n"
+        "  \"phase_inline_segments\": %llu,\n"
+        "  \"phase_serial_globals\": %llu,\n"
+        "  \"phase_serial_ops\": %llu,\n"
+        "  \"phase_ordering_events\": %llu,\n"
+        "  \"phase_partition_events\": %llu,\n"
+        "  \"events_per_run\": %llu,\n"
+        "  \"serial_share\": %.4f,\n"
+        "  \"barriers_per_kcycle\": %.3f,\n",
+        static_cast<unsigned long long>(pt0.windows),
+        static_cast<unsigned long long>(pt0.barriers),
+        static_cast<unsigned long long>(pt0.barrierSkips),
+        static_cast<unsigned long long>(pt0.inlineSegments),
+        static_cast<unsigned long long>(pt0.serialGlobals),
+        static_cast<unsigned long long>(pt0.serialOps),
+        static_cast<unsigned long long>(pt0.orderingEvents),
+        static_cast<unsigned long long>(pt0.partitionEvents),
+        static_cast<unsigned long long>(pt0.events), pt0.serialShare(),
+        pt0.barriersPerKcycle());
+    json += buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"compat_barriers\": %llu,\n"
+        "  \"compat_serial_ops\": %llu,\n"
+        "  \"compat_serial_share\": %.4f,\n"
+        "  \"compat_barriers_per_kcycle\": %.3f,\n"
+        "  \"compat_wall_sec\": %.3f,\n"
+        "  \"serial_share_reduction\": %.2f,\n"
+        "  \"barrier_reduction\": %.2f,\n"
+        "  \"time_share_barrier_wait\": %.3f,\n"
+        "  \"time_share_serial_global\": %.3f,\n"
+        "  \"time_share_ordering\": %.3f,\n"
+        "  \"time_share_partition\": %.3f,\n"
+        "  \"time_share_commit\": %.3f,\n",
+        static_cast<unsigned long long>(compat.barriers),
+        static_cast<unsigned long long>(compat.serialOps),
+        compat.serialShare(), compat.barriersPerKcycle(),
+        compat.wallSec, serialReduction, barrierReduction,
+        share(pt0.prof.barrierWaitNs), share(pt0.prof.serialGlobalNs),
+        share(pt0.prof.orderingNs), share(pt0.prof.partitionNs),
+        share(pt0.prof.commitNs));
+    json += buf;
+    std::printf(
+        "phases: windows=%llu barriers=%llu (skips=%llu inline=%llu)  "
+        "serial share %.4f  barriers/kcycle %.3f\n"
+        "compat: barriers=%llu  serial share %.4f  barriers/kcycle "
+        "%.3f  ->  serial reduction %.2fx, barrier reduction %.2fx\n"
+        "time shares: barrier-wait %.3f  serial-global %.3f  "
+        "ordering %.3f  partition %.3f  commit %.3f\n",
+        static_cast<unsigned long long>(pt0.windows),
+        static_cast<unsigned long long>(pt0.barriers),
+        static_cast<unsigned long long>(pt0.barrierSkips),
+        static_cast<unsigned long long>(pt0.inlineSegments),
+        pt0.serialShare(), pt0.barriersPerKcycle(),
+        static_cast<unsigned long long>(compat.barriers),
+        compat.serialShare(), compat.barriersPerKcycle(),
+        serialReduction, barrierReduction, share(pt0.prof.barrierWaitNs),
+        share(pt0.prof.serialGlobalNs), share(pt0.prof.orderingNs),
+        share(pt0.prof.partitionNs), share(pt0.prof.commitNs));
     std::snprintf(buf, sizeof(buf),
                   "  \"simulated_cycles\": %llu,\n"
                   "  \"host_threads\": %u\n}\n",

@@ -50,6 +50,11 @@ class DirectoryInterconnect : public Interconnect
     CpuId dirOwner(Addr line) const;
     size_t dirSharers(Addr line) const;
 
+    /** Bank (address-interleaved by line) holding @p line's entry. */
+    int bankOf(Addr line) const;
+    /** CPU whose partition owns bank @p bank's state. */
+    CpuId bankOwnerCpu(int bank) const;
+
   private:
     struct Entry
     {
@@ -59,16 +64,28 @@ class DirectoryInterconnect : public Interconnect
 
     void pump();
     void process(const BusRequest &req);
+    /** Bank-local WriteBack application (banked mode): ordered and
+     *  counted in pump(); the entry update itself runs inside the
+     *  bank owner's partition via ParallelRouter::postPartition. */
+    void applyWriteBack(const BusRequest &req, Tick order_tick);
     /** Trace a directory-forwarded snoop/invalidation toward @p dest
      *  (metrics: per-link accounting of directory fan-out traffic). */
     void traceFwd(const BusRequest &req, CpuId dest, bool inval);
 
-    std::unordered_map<Addr, Entry> dir_;
+    Entry &entryFor(Addr line);
+
+    /** Per-bank entry maps; size params_.dirBanks. One bank keeps the
+     *  old single-map behavior byte for byte; with more, each bank's
+     *  map is touched only by its owner partition's events and by
+     *  serialized contexts (workers parked), so sharded processing
+     *  needs no locks. */
+    std::vector<std::unordered_map<Addr, Entry>> banks_;
     std::deque<BusRequest> queue_;
     bool pumpScheduled_ = false;
 
     std::uint64_t &fwdSnoops_;
     std::uint64_t &invalidations_;
+    std::uint64_t &bankedWriteBacks_;
 };
 
 } // namespace tlr

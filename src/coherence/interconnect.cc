@@ -24,8 +24,13 @@ Interconnect::Interconnect(EventQueue &eq, StatSet &stats,
       txnCount_(stats.counter("bus", "transactions")),
       dataMsgs_(stats.counter("net", "dataMsgs")),
       markerMsgs_(stats.counter("net", "markerMsgs")),
-      probeMsgs_(stats.counter("net", "probeMsgs"))
+      probeMsgs_(stats.counter("net", "probeMsgs")),
+      serialOps_(stats.counter("pkernel", "serialOps")),
+      serialSnoops_(stats.counter("pkernel", "serialSnoops")),
+      filteredSnoops_(stats.counter("pkernel", "filteredSnoops"))
 {
+    if (params_.dirBanks < 1)
+        fatal("interconnect needs at least one directory bank");
 }
 
 void
@@ -172,6 +177,7 @@ BroadcastInterconnect::deliver(BusRequest req)
         // Stale upgrade: the requester lost its copy while the request
         // was in flight. It must not invalidate anyone; the requester
         // converts it to a GetX at its order point.
+        ++serialOps_;
         snoopers_.at(static_cast<size_t>(req.requester))
             ->ownRequestOrdered(req, false, false);
         return;
@@ -182,14 +188,26 @@ BroadcastInterconnect::deliver(BusRequest req)
     for (Snooper *s : snoopers_) {
         if (s->id() == req.requester)
             continue;
+        // Snoop filter: a controller holding no state for the line —
+        // no valid copy, no victim copy, no MSHR — answers with a
+        // strict no-op, so the call (the dominant serialized cost of
+        // a broadcast delivery) can be elided outright.
+        if (params_.snoopFilter && !s->holdsLineState(req.line)) {
+            ++filteredSnoops_;
+            continue;
+        }
+        ++serialSnoops_;
+        ++serialOps_;
         SnoopReply r = s->snoop(req);
         anyOwner |= r.owner;
         anySharer |= r.sharer;
     }
+    ++serialOps_;
     snoopers_.at(static_cast<size_t>(req.requester))
         ->ownRequestOrdered(req, anyOwner, anySharer);
     if (!anyOwner &&
         (req.type == ReqType::GetS || req.type == ReqType::GetX)) {
+        ++serialOps_;
         mem_->supply(req, anySharer);
     }
 }

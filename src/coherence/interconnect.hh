@@ -66,6 +66,19 @@ class Snooper
      *  not invalidate other caches — the requester reissues as GetX. */
     virtual bool upgradeValid(Addr line) const = 0;
 
+    /**
+     * Snoop filter hook: does this controller hold ANY state for
+     * @p line (valid copy, victim copy, or an outstanding MSHR)?
+     * Must be conservative — returning true for a line with no state
+     * only costs a wasted snoop, but returning false for a line the
+     * controller tracks would skip a required snoop. snoop() on a
+     * controller without line state must be a strict no-op, which is
+     * what lets the broadcast bus elide the call entirely. Pure:
+     * called from serialized ordering contexts while partitions are
+     * parked, so it may read cache state directly but not touch it.
+     */
+    virtual bool holdsLineState(Addr line) const { (void)line; return true; }
+
     virtual void dataResponse(const DataMsg &msg) = 0;
     virtual void marker(const MarkerMsg &msg) = 0;
     virtual void probe(const ProbeMsg &msg) = 0;
@@ -76,6 +89,16 @@ struct InterconnectParams
     Tick addrOccupancy = 2; ///< cycles between ordered transactions
     Tick snoopLatency = 20; ///< request issue -> global order/snoop
     Tick dataLatency = 20;  ///< point-to-point data network latency
+    /** Elide snoops to controllers holding no state for the line
+     *  (Snooper::holdsLineState). Exact — a stateless snoop is a
+     *  strict no-op — so simulated timing and stats are identical
+     *  with it on or off except pkernel.serialSnoops/filteredSnoops. */
+    bool snoopFilter = true;
+    /** Directory banks (address-interleaved by line). With > 1 bank,
+     *  bank-local work (WriteBack entry updates) runs inside the
+     *  owning CPU's partition instead of as a serialized global;
+     *  1 bank reproduces the unsharded directory exactly. */
+    int dirBanks = 1;
 };
 
 /**
@@ -90,6 +113,21 @@ class ParallelRouter
     virtual ~ParallelRouter() = default;
     /** Execute @p fn serialized across partitions at tick @p when. */
     virtual void postGlobal(Tick when, std::function<void()> fn) = 0;
+    /**
+     * Execute @p fn as an ordinary event of CPU @p cpu's partition at
+     * tick @p when (EventPrio::DataResponse). For work that touches
+     * state owned by exactly one partition — directory bank updates —
+     * so it rides the parallel phase instead of a serialized global.
+     * Only call from serialized contexts (ordering machine, globals)
+     * with @p when at or past the kernel's committed frontier.
+     */
+    virtual void postPartition(int cpu, Tick when,
+                               std::function<void()> fn) = 0;
+    /** Capture sink owned by CPU @p cpu's partition. postPartition
+     *  events must emit trace records through this sink — the shared
+     *  interconnect sink belongs to serialized contexts and would
+     *  race with partition execution. */
+    virtual TraceSink *partitionSink(int cpu) = 0;
     /** Simulated time of the in-flight global/barrier context. */
     virtual Tick currentTick() const = 0;
 };
@@ -165,6 +203,16 @@ class Interconnect
     std::uint64_t &dataMsgs_;
     std::uint64_t &markerMsgs_;
     std::uint64_t &probeMsgs_;
+    /** @{ serialized-phase work attribution ("pkernel" group):
+     *  controller operations (snoops, own-request callbacks, memory
+     *  supplies) executed inside ordered deliveries — the work that
+     *  runs serialized under the parallel kernel — plus snoops the
+     *  filter elided. Counted identically in classic mode so stats
+     *  stay mode-independent. */
+    std::uint64_t &serialOps_;
+    std::uint64_t &serialSnoops_;
+    std::uint64_t &filteredSnoops_;
+    /** @} */
 };
 
 /** The paper's configuration: Gigaplane-style ordered broadcast. */

@@ -74,6 +74,23 @@ L1Controller::findLineConst(Addr line_addr) const
 }
 
 bool
+L1Controller::holdsLineState(Addr line) const
+{
+    // Exact presence test for the broadcast snoop filter: snoop() can
+    // only act when an MSHR is outstanding for the line or a valid
+    // copy sits in the array or victim cache. Deliberately NOT
+    // findLine()/findLineConst() — those perform lazy victim
+    // promotion, and this predicate must be side-effect free (it runs
+    // against live cache state from serialized ordering contexts).
+    const Addr la = lineAlign(line);
+    if (mshrs_.count(la))
+        return true;
+    if (static_cast<const CacheArray &>(array_).find(la))
+        return true;
+    return static_cast<const VictimCache &>(victim_).find(la) != nullptr;
+}
+
+bool
 L1Controller::evictLine(CacheLine &line)
 {
     if (line.inTransaction() && hooks_.specActive()) {

@@ -108,6 +108,7 @@ class L1Controller : public Snooper
     /** @{ Snooper interface (called by the interconnect). */
     CpuId id() const override { return id_; }
     bool upgradeValid(Addr line) const override;
+    bool holdsLineState(Addr line) const override;
     SnoopReply snoop(const BusRequest &req) override;
     void ownRequestOrdered(const BusRequest &req, bool any_owner,
                            bool any_sharer) override;

@@ -40,6 +40,18 @@ makeKernel(const MachineParams &p, BackingStore &store, TraceSink &sink)
     cfg.maxTicks = p.maxTicks;
     cfg.seed = p.seed;
     cfg.dataLatency = p.net.dataLatency;
+    cfg.batchedGlobals = p.batchedGlobals;
+    cfg.dynamicLookahead = p.dynamicLookahead;
+    cfg.profilePhases = p.profilePhases;
+    // Dynamic windows ignore the derived worst-case lookahead (the
+    // promise machinery subsumes it); an explicit request BELOW it is
+    // honored as a window cap — the lookahead=1 stress configuration
+    // must still produce maximally small windows.
+    Tick derived = std::min(p.net.snoopLatency, p.net.dataLatency);
+    if (derived < 1)
+        derived = 1;
+    if (p.lookahead > 0 && p.lookahead < derived)
+        cfg.lookaheadCap = p.lookahead;
     return std::make_unique<ParallelKernel>(cfg, store, sink);
 }
 

@@ -78,8 +78,21 @@ struct MachineParams
      *  values are valid (more barriers, same results; lookahead=1 is
      *  the stress configuration); requests above the derived bound
      *  are clamped down — exceeding it would break the
-     *  delivery-horizon guarantee. */
+     *  delivery-horizon guarantee. With dynamic lookahead the derived
+     *  value is only a floor reference: explicit values below it
+     *  still cap the window (stress configs), larger windows come
+     *  from partition promises automatically. */
     Tick lookahead = 0;
+    /** Coalesce serialized globals per split point and skip/inline
+     *  provably light window segments (DESIGN.md §13). Off = the
+     *  one-barrier-pair-per-global schedule. */
+    bool batchedGlobals = true;
+    /** Protocol-aware dynamic windows from per-partition promises;
+     *  off = fixed worst-case lookahead windows. */
+    bool dynamicLookahead = true;
+    /** Collect host-time phase attribution in the parallel kernel
+     *  (bench_kernel --threads-grid; off in normal runs). */
+    bool profilePhases = false;
 };
 
 class System

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <map>
 
@@ -47,6 +48,26 @@ schemaOf(const JsonValue &doc)
 {
     const JsonValue *s = doc.find("schema_version");
     return s && s->isNumber() ? static_cast<long>(s->number) : -1;
+}
+
+/** Host-performance keys: meaningful only when both runs used the
+ *  same host-thread budget. Matched on the final path component so
+ *  per-config variants (threads_4_speedup) are covered too. */
+bool
+isHostPerfKey(const std::string &key)
+{
+    size_t dot = key.rfind('.');
+    std::string leaf = dot == std::string::npos ? key
+                                                : key.substr(dot + 1);
+    for (const char *suffix :
+         {"host_threads", "speedup", "efficiency", "wall_sec",
+          "events_per_sec"}) {
+        size_t n = std::strlen(suffix);
+        if (leaf.size() >= n &&
+            leaf.compare(leaf.size() - n, n, suffix) == 0)
+            return true;
+    }
+    return false;
 }
 
 } // namespace
@@ -106,6 +127,14 @@ diffStats(const JsonValue &old_doc, const JsonValue &new_doc,
     std::map<std::string, double> oldMap(oldFlat.begin(), oldFlat.end());
     std::map<std::string, double> newMap(newFlat.begin(), newFlat.end());
 
+    {
+        auto oldHt = oldMap.find("host_threads");
+        auto newHt = newMap.find("host_threads");
+        rep.hostThreadsDiffer = oldHt != oldMap.end() &&
+                                newHt != newMap.end() &&
+                                oldHt->second != newHt->second;
+    }
+
     for (const auto &[key, oldVal] : oldMap) {
         auto it = newMap.find(key);
         if (it == newMap.end()) {
@@ -122,7 +151,9 @@ diffStats(const JsonValue &old_doc, const JsonValue &new_doc,
             row.relPct = std::numeric_limits<double>::infinity();
         else
             row.relPct = 100.0 * (it->second - oldVal) / std::abs(oldVal);
-        row.exceeded = std::abs(row.relPct) > opt.thresholdPct;
+        row.reportOnly = rep.hostThreadsDiffer && isHostPerfKey(key);
+        row.exceeded = !row.reportOnly &&
+                       std::abs(row.relPct) > opt.thresholdPct;
         if (row.exceeded)
             ++rep.exceeded;
         rep.rows.push_back(std::move(row));
@@ -158,13 +189,19 @@ renderDiff(const DiffReport &rep, const DiffOptions &opt)
         return out;
     }
 
+    if (rep.hostThreadsDiffer)
+        out += "note: host_threads differs between the runs; host-"
+               "performance keys (speedup, efficiency, wall_sec, "
+               "events_per_sec) are report-only and not gated\n";
     size_t changed = 0;
     out += strfmt("%-44s %14s %14s %9s\n", "key", "old", "new", "delta%");
     for (const DiffRow &r : rep.rows) {
         if (r.relPct == 0)
             continue;
         ++changed;
-        const char *mark = r.exceeded ? "  <-- EXCEEDS" : "";
+        const char *mark = r.exceeded     ? "  <-- EXCEEDS" :
+                           r.reportOnly   ? "  (report-only)" :
+                                            "";
         if (std::isinf(r.relPct))
             out += strfmt("%-44s %14.6g %14.6g %9s%s\n", r.key.c_str(),
                           r.oldVal, r.newVal, "inf", mark);

@@ -42,11 +42,20 @@ struct DiffRow
     double newVal = 0;
     double relPct = 0;  ///< 100*(new-old)/old; 0 when old==new==0
     bool exceeded = false;
+    /** Shown but never gated: a host-performance key (speedup,
+     *  efficiency, wall time, events/sec, host_threads) compared
+     *  across runs recorded on different host-thread budgets. */
+    bool reportOnly = false;
 };
 
 struct DiffReport
 {
     bool schemaMismatch = false;
+    /** Both documents record host_threads and the values differ: the
+     *  runs used different host parallelism, so host-performance
+     *  comparisons (speedup, wall time, events/sec) are meaningless.
+     *  Those keys are reported but excluded from threshold gating. */
+    bool hostThreadsDiffer = false;
     std::string error;       ///< non-empty on structural failure
     long oldSchema = -1;     ///< -1 = legacy (no schema_version field)
     long newSchema = -1;

@@ -177,6 +177,16 @@ class EventQueue
     void runBounded(Tick bound_tick, int bound_prio);
 
     /**
+     * Count pending events strictly below the (bound_tick, bound_prio)
+     * point, stopping early once @p cap is reached. The parallel
+     * kernel sizes segments with this: a segment whose total pending
+     * work is tiny runs inline on the coordinator instead of paying a
+     * worker barrier. Pure inspection — never advances the window.
+     */
+    std::size_t countBelow(Tick bound_tick, int bound_prio,
+                           std::size_t cap) const;
+
+    /**
      * Advance now() to @p tick without executing anything (no-op if
      * time is already there). The parallel kernel uses this before a
      * serialized cross-partition event executes, so callbacks that

@@ -1,6 +1,7 @@
 #include "sim/parallel_kernel.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <tuple>
 
 #include "sim/logging.hh"
@@ -19,6 +20,31 @@ satAdd(Tick a, Tick b)
     Tick s = a + b;
     return s < a ? kNoTick : s;
 }
+
+/** Adds the scope's host duration to a PhaseProfile bucket; inert
+ *  (no clock call) unless profiling is on. */
+class ScopedNs
+{
+  public:
+    ScopedNs(std::uint64_t &dst, bool on) : dst_(on ? &dst : nullptr)
+    {
+        if (dst_)
+            t0_ = std::chrono::steady_clock::now();
+    }
+    ~ScopedNs()
+    {
+        if (dst_) {
+            *dst_ += static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0_)
+                    .count());
+        }
+    }
+
+  private:
+    std::uint64_t *dst_;
+    std::chrono::steady_clock::time_point t0_;
+};
 
 } // namespace
 
@@ -124,6 +150,31 @@ ParallelKernel::~ParallelKernel()
 }
 
 void
+ParallelKernel::setInterconnect(Interconnect *net)
+{
+    net_ = net;
+    // Minimum ticks between a partition-local event and its earliest
+    // possible effect on another partition: either a data-network
+    // delivery (dataLatency) or an address-network submit ordered and
+    // delivered back (orderingNotice + globalPostLag). Floor of 1
+    // keeps windows strictly advancing.
+    if (net_) {
+        minEffect_ = std::min(
+            cfg_.dataLatency,
+            satAdd(net_->orderingNotice(), net_->globalPostLag()));
+        if (minEffect_ < 1)
+            minEffect_ = 1;
+    }
+}
+
+Tick
+ParallelKernel::partitionPromise(int p)
+{
+    return satAdd(parts_.at(static_cast<std::size_t>(p))->eq.nextTick(),
+                  minEffect_);
+}
+
+void
 ParallelKernel::addSnooper(Snooper *s)
 {
     if (s->id() != static_cast<CpuId>(snoopers_.size()))
@@ -212,6 +263,23 @@ ParallelKernel::postGlobal(Tick when, std::function<void()> fn)
 }
 
 void
+ParallelKernel::postPartition(int cpu, Tick when, std::function<void()> fn)
+{
+    // Bank-sharded interconnect work lands in its owning CPU's
+    // partition as an ordinary partition event. Callers run in
+    // serialized contexts (ordering machine / globals), so the
+    // destination queue is quiescent; the delivery tick must not lie
+    // behind the committed frontier.
+    if (when < frontier_)
+        panic("postPartition tick %llu behind frontier %llu",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(frontier_));
+    ++bankEvents_;
+    parts_.at(static_cast<std::size_t>(cpu) + 1)
+        ->eq.schedule(when, std::move(fn), EventPrio::DataResponse);
+}
+
+void
 ParallelKernel::startWorkers()
 {
     if (workers_ <= 1 || !pool_.empty())
@@ -268,14 +336,87 @@ ParallelKernel::runPartitionsFor(unsigned w)
 void
 ParallelKernel::runSegment(Tick bound_tick, int bound_prio)
 {
+    if (cfg_.batchedGlobals) {
+        // Workers are parked between segments, so the coordinator may
+        // peek every partition queue. Count partitions with work
+        // strictly below the bound, and bound the total event count
+        // (capped scan — we only care whether it is tiny); the
+        // decision must depend only on queue state (never workers_)
+        // so the pkernel counters are identical for every thread
+        // count.
+        const std::size_t limit = cfg_.inlineEventLimit;
+        int count = 0;
+        std::size_t pendingSum = 0;
+        for (std::size_t p = 0; p < parts_.size(); ++p) {
+            Tick t;
+            int prio;
+            if (parts_[p]->eq.peekNext(t, prio) &&
+                (t < bound_tick ||
+                 (t == bound_tick && prio < bound_prio))) {
+                ++count;
+                pendingSum += parts_[p]->eq.pending();
+            }
+        }
+        if (count == 0) {
+            ++barrierSkips_;
+            return;
+        }
+        // pending() over-counts (it includes events at or past the
+        // bound), so a sum within the limit proves the segment is
+        // small without walking any queue; only the straddling case
+        // pays for the exact capped scan.
+        std::size_t below = pendingSum;
+        if (count > 1 && pendingSum > limit) {
+            below = 0;
+            for (std::size_t p = 0;
+                 p < parts_.size() && below <= limit; ++p)
+                below += parts_[p]->eq.countBelow(
+                    bound_tick, bound_prio, limit + 1 - below);
+        }
+        // One active partition, or so little total work that a worker
+        // wake-up costs more than the events themselves: run the
+        // segment inline in partition-index order. Partitions are
+        // mutually independent below the bound (the conservative-
+        // window guarantee), so any order — including this serial one,
+        // which is exactly the threads=1 schedule — produces identical
+        // state and per-partition trace buffers.
+        if (count == 1 || below <= limit) {
+            ++inlineSegments_;
+            ScopedNs t(prof_.partitionNs, cfg_.profilePhases);
+            for (auto &pp : parts_) {
+                if (pp->error)
+                    continue;
+                try {
+                    pp->eq.runBounded(bound_tick, bound_prio);
+                } catch (...) {
+                    pp->error = std::current_exception();
+                    errFlag_.store(true, std::memory_order_release);
+                }
+            }
+            if (errFlag_.load(std::memory_order_relaxed))
+                rethrowWorkerError();
+            return;
+        }
+    }
+    runSegmentBarrier(bound_tick, bound_prio);
+}
+
+void
+ParallelKernel::runSegmentBarrier(Tick bound_tick, int bound_prio)
+{
+    ++barriers_;
     segBoundTick_ = bound_tick;
     segBoundPrio_ = bound_prio;
     if (workers_ > 1) {
         done_.store(0, std::memory_order_relaxed);
         gen_.fetch_add(1, std::memory_order_release);
     }
-    runPartitionsFor(0);
+    {
+        ScopedNs t(prof_.partitionNs, cfg_.profilePhases);
+        runPartitionsFor(0);
+    }
     if (workers_ > 1) {
+        ScopedNs t(prof_.barrierWaitNs, cfg_.profilePhases);
         while (done_.load(std::memory_order_acquire) < workers_ - 1)
             std::this_thread::yield();
     }
@@ -364,18 +505,31 @@ ParallelKernel::executeWindow(Tick w)
                   return a.seq < b.seq;
               });
     std::size_t gi = 0;
-    for (; gi < globals_.size() && globals_[gi].when < w; ++gi) {
-        Global &g = globals_[gi];
-        runSegment(g.when, static_cast<int>(EventPrio::Snoop));
+    while (gi < globals_.size() && globals_[gi].when < w) {
+        const Tick gt = globals_[gi].when;
+        runSegment(gt, static_cast<int>(EventPrio::Snoop));
         for (auto &p : parts_)
-            p->eq.advanceNow(g.when);
-        curTick_ = g.when;
+            p->eq.advanceNow(gt);
+        curTick_ = gt;
         setSerialCapture(true);
-        g.fn();
+        {
+            ScopedNs t(prof_.serialGlobalNs, cfg_.profilePhases);
+            // Batched mode drains every global sharing this
+            // (tick, Snoop) split point under the one segment; the
+            // partitions are already bounded at exactly this point,
+            // so running them back to back is the single-queue order.
+            // Globals never post further globals (only ordering
+            // events do), so the batch is stable while it drains.
+            do {
+                globals_[gi].fn();
+                ++globalsRun_;
+                ++gi;
+            } while (cfg_.batchedGlobals && gi < globals_.size() &&
+                     globals_[gi].when == gt);
+        }
         setSerialCapture(false);
-        ++globalsRun_;
-        if (g.when > simMax_)
-            simMax_ = g.when;
+        if (gt > simMax_)
+            simMax_ = gt;
     }
     globals_.erase(globals_.begin(),
                    globals_.begin() + static_cast<std::ptrdiff_t>(gi));
@@ -404,11 +558,12 @@ ParallelKernel::commitOutboxes()
     };
     std::sort(stagedSubmits_.begin(), stagedSubmits_.end(), lt);
     std::sort(sendScratch_.begin(), sendScratch_.end(), lt);
-    // Deliveries land at least one lookahead past the window that
-    // produced them, so destination queues have not run past these
-    // ticks; batches across barriers have ascending tick ranges, so
-    // insertion order (hence seq order within a tick) is independent
-    // of the lookahead and worker count.
+    // Deliveries land dataLatency past the producing event, and the
+    // window bound never exceeds (earliest pending event + minEffect)
+    // with minEffect <= dataLatency, so destination queues have not
+    // run past these ticks; batches across barriers have ascending
+    // tick ranges, so insertion order (hence seq order within a tick)
+    // is independent of the window policy and worker count.
     for (const Staged &s : sendScratch_) {
         Snooper *sn = snoopers_.at(static_cast<std::size_t>(s.to));
         EventQueue &dq = parts_.at(static_cast<std::size_t>(s.to) + 1)->eq;
@@ -493,11 +648,57 @@ ParallelKernel::flushTrace()
         p->sink.captured().clear();
 }
 
+Tick
+ParallelKernel::windowBound(Tick t, Tick max_bound)
+{
+    if (!cfg_.dynamicLookahead) {
+        // Compat (PR 7) schedule: fixed worst-case windows, clamped
+        // at pending ordering events when they can post globals at
+        // (or near) their own tick — the directory pump; the
+        // broadcast bus posts snoopLatency out, which always covers
+        // the lookahead, so its windows stay full-size.
+        Tick w = std::min(satAdd(t, cfg_.lookahead), max_bound);
+        if (net_->globalPostLag() < cfg_.lookahead) {
+            Tick q;
+            int qp;
+            if (ordering_.peekNext(q, qp) && q < w)
+                w = q;
+        }
+        return w;
+    }
+    // Protocol-aware dynamic window. Each partition promises it
+    // cannot affect another before (next local event + minEffect);
+    // pending globals act at their own tick, so they join the
+    // minimum directly. The ordering machine additionally bounds the
+    // window at (its next event + globalPostLag): anything it does
+    // lands at least postLag out as a global. The window may run to
+    // the smallest of those horizons — typically several times the
+    // static worst-case lookahead once most partitions are quiescent
+    // (spinning cores with empty queues promise infinity).
+    Tick min_pend = kNoTick;
+    for (auto &p : parts_)
+        min_pend = std::min(min_pend, p->eq.nextTick());
+    for (const Global &g : globals_)
+        min_pend = std::min(min_pend, g.when);
+    Tick w = satAdd(min_pend, minEffect_);
+    Tick q;
+    int qp;
+    if (ordering_.peekNext(q, qp))
+        w = std::min(w, satAdd(q, net_->globalPostLag()));
+    w = std::min(w, max_bound);
+    // An explicit --lookahead below the derived promise is honored as
+    // a cap (stress configs deliberately force small windows).
+    if (cfg_.lookaheadCap != kNoTick)
+        w = std::min(w, satAdd(t, cfg_.lookaheadCap));
+    return w;
+}
+
 bool
 ParallelKernel::run()
 {
     if (!net_)
         fatal("parallel kernel started without an interconnect");
+    setInterconnect(net_); // recompute minEffect_ against final net
     startWorkers();
     struct StopGuard
     {
@@ -508,30 +709,30 @@ ParallelKernel::run()
     const Tick maxT = cfg_.maxTicks;
     const Tick maxBound = satAdd(maxT, 1);
     const Tick notice = net_->orderingNotice();
-    // When ordering events post globals at (or near) their own tick —
-    // the directory pump — a window may not run past a pending
-    // ordering event; the broadcast bus posts snoopLatency out, which
-    // always covers the lookahead, so its windows stay full-size.
-    const bool boundAtOrdering = net_->globalPostLag() < cfg_.lookahead;
-    Tick frontier = 0;
+    frontier_ = 0;
     for (;;) {
-        advanceOrdering(std::min(satAdd(frontier, notice), maxBound));
-        flushTrace();
+        {
+            ScopedNs t(prof_.orderingNs, cfg_.profilePhases);
+            advanceOrdering(std::min(satAdd(frontier_, notice),
+                                     maxBound));
+        }
+        {
+            ScopedNs t(prof_.commitNs, cfg_.profilePhases);
+            flushTrace();
+        }
         Tick t = nextPendingTick();
         if (t == kNoTick)
             return true;
         if (t > maxT)
             return false;
-        Tick w = std::min(satAdd(t, cfg_.lookahead), maxBound);
-        if (boundAtOrdering) {
-            Tick q;
-            int qp;
-            if (ordering_.peekNext(q, qp) && q < w)
-                w = q;
-        }
+        Tick w = windowBound(t, maxBound);
         executeWindow(w);
-        commitOutboxes();
-        frontier = w;
+        {
+            ScopedNs ts(prof_.commitNs, cfg_.profilePhases);
+            commitOutboxes();
+        }
+        frontier_ = w;
+        ++windows_;
     }
 }
 
@@ -549,6 +750,22 @@ ParallelKernel::mergeStatsInto(StatSet &dst) const
 {
     for (const auto &p : parts_)
         dst.mergeFrom(p->stats);
+    // Phase attribution: how the executed event population splits
+    // across the kernel's execution modes, plus the window/barrier
+    // schedule itself. Deterministic functions of the configuration —
+    // these merge into stats-json and must stay bit-identical across
+    // worker counts (pinned by tests/test_determinism.cc).
+    std::uint64_t part_events = 0;
+    for (const auto &p : parts_)
+        part_events += p->eq.executed();
+    dst.counter("pkernel", "windows") += windows_;
+    dst.counter("pkernel", "barriers") += barriers_;
+    dst.counter("pkernel", "barrierSkips") += barrierSkips_;
+    dst.counter("pkernel", "inlineSegments") += inlineSegments_;
+    dst.counter("pkernel", "serialGlobals") += globalsRun_;
+    dst.counter("pkernel", "orderingEvents") += ordering_.executed();
+    dst.counter("pkernel", "partitionEvents") += part_events;
+    dst.counter("pkernel", "bankEvents") += bankEvents_;
 }
 
 } // namespace tlr

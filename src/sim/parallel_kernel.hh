@@ -103,10 +103,50 @@ class ParallelKernel : public ParallelRouter
     {
         int numCpus = 0;
         unsigned threads = 1;  ///< worker count (capped at partitions)
-        Tick lookahead = 1;    ///< conservative window size, >= 1
+        Tick lookahead = 1;    ///< compat window size, >= 1
         Tick maxTicks = ~Tick{0};
         std::uint64_t seed = 0;
         Tick dataLatency = 20; ///< for FabricPort staging
+        /** Coalesce same-split-point globals into one coordinator
+         *  drain, skip barriers for provably empty segments, and run
+         *  single-active-partition segments inline. Off = one barrier
+         *  pair per global (PR 7 schedule). */
+        bool batchedGlobals = true;
+        /** Batched mode only: a segment whose total pending event
+         *  count below the bound is at most this runs inline on the
+         *  coordinator (index order — the threads=1 schedule) instead
+         *  of paying a worker barrier. Split segments average ~a dozen
+         *  events, so waking the pool for them is pure overhead. The
+         *  decision reads only queue state, keeping pkernel counters
+         *  thread-invariant. 0 disables multi-partition inlining. */
+        std::size_t inlineEventLimit = 32;
+        /** Derive each window from partition promises (next local
+         *  event + min outbound latency) and the ordering horizon
+         *  instead of the static worst-case lookahead. Off = fixed
+         *  `lookahead` windows (PR 7 schedule). */
+        bool dynamicLookahead = true;
+        /** Explicit user cap on the dynamic window (t + cap); ~0 =
+         *  uncapped. Only set when --lookahead asks for windows
+         *  *smaller* than the derived promise allows. */
+        Tick lookaheadCap = ~Tick{0};
+        /** Record host-time phase attribution (chrono calls per
+         *  phase; bench-only, not part of simulated state). */
+        bool profilePhases = false;
+    };
+
+    /** Host-time attribution of the coordinator's run() loop, in
+     *  nanoseconds (collected only when Config::profilePhases). The
+     *  shares answer "where does the wall clock go": spinning at
+     *  barriers, running serialized globals, replaying the ordering
+     *  machine, executing the coordinator's own partitions, or
+     *  committing outboxes / stitching trace. */
+    struct PhaseProfile
+    {
+        std::uint64_t barrierWaitNs = 0; ///< coordinator waits on pool
+        std::uint64_t serialGlobalNs = 0; ///< serialized global bodies
+        std::uint64_t orderingNs = 0;     ///< advanceOrdering replay
+        std::uint64_t partitionNs = 0;    ///< coordinator partitions
+        std::uint64_t commitNs = 0;       ///< outbox commit + stitch
     };
 
     /** @param real_sink the System's sink; stitched records replay
@@ -138,7 +178,7 @@ class ParallelKernel : public ParallelRouter
      *  events); the interconnect is constructed on it. */
     EventQueue &orderingQueue() { return ordering_; }
 
-    void setInterconnect(Interconnect *net) { net_ = net; }
+    void setInterconnect(Interconnect *net);
 
     /** Register delivery targets, in CpuId order (same set the
      *  interconnect snoops). */
@@ -157,8 +197,33 @@ class ParallelKernel : public ParallelRouter
 
     /** @{ ParallelRouter (called by the interconnect). */
     void postGlobal(Tick when, std::function<void()> fn) override;
+    void postPartition(int cpu, Tick when,
+                       std::function<void()> fn) override;
+    TraceSink *partitionSink(int cpu) override
+    {
+        return &parts_.at(static_cast<std::size_t>(cpu) + 1)->sink;
+    }
     Tick currentTick() const override { return curTick_; }
     /** @} */
+
+    /**
+     * Null-message-style promise for partition @p p: the earliest
+     * tick at which anything it does next could become visible to
+     * another partition (next local event tick + minimum outbound
+     * effect latency). Monotonically non-decreasing between windows —
+     * partitions only consume events, never schedule below their own
+     * frontier — which is what lets quiescent partitions widen the
+     * window instead of forcing worst-case 1-lookahead steps.
+     */
+    Tick partitionPromise(int p);
+
+    /** Minimum ticks between a partition-local event and its earliest
+     *  cross-partition effect under the current interconnect. */
+    Tick minEffect() const { return minEffect_; }
+
+    /** Host-time phase attribution (all zero unless
+     *  Config::profilePhases). */
+    const PhaseProfile &phaseProfile() const { return prof_; }
 
     /**
      * Drive the machine to completion.
@@ -225,9 +290,22 @@ class ParallelKernel : public ParallelRouter
     void stopWorkers();
     void workerMain(unsigned w);
     void runPartitionsFor(unsigned w);
-    /** Run every partition up to (bound_tick, bound_prio) and join. */
+    /** Run every partition up to (bound_tick, bound_prio) and join.
+     *  With Config::batchedGlobals the coordinator first peeks every
+     *  partition queue (workers are parked, so this is race-free):
+     *  zero partitions with work below the bound skips the barrier
+     *  entirely, exactly one drains inline on the coordinator without
+     *  waking the pool. The decision depends only on deterministic
+     *  queue state — never on workers_ — so the pkernel counters stay
+     *  bit-identical across thread counts. */
     void runSegment(Tick bound_tick, int bound_prio);
+    /** The unconditional all-partitions dispatch runSegment falls
+     *  back to (and the only path when batching is off). */
+    void runSegmentBarrier(Tick bound_tick, int bound_prio);
     void rethrowWorkerError();
+    /** Compute the window bound for the next window given the
+     *  earliest pending tick @p t. */
+    Tick windowBound(Tick t, Tick max_bound);
 
     /** Apply staged submits interleaved with ordering-machine events
      *  up to (excluding) @p bound, in deterministic order. */
@@ -261,6 +339,20 @@ class ParallelKernel : public ParallelRouter
 
     Tick curTick_ = 0;  ///< serialized-context time (globals/barriers)
     Tick simMax_ = 0;
+    Tick frontier_ = 0;   ///< end of the last committed window
+    Tick minEffect_ = 1;  ///< see minEffect()
+
+    /** @{ phase-attribution event counters ("pkernel" stats group).
+     *  All maintained on the coordinator, merged in mergeStatsInto;
+     *  deterministic functions of the configuration, so they are part
+     *  of the thread-count bit-identity contract. */
+    std::uint64_t windows_ = 0;        ///< bounded windows executed
+    std::uint64_t barriers_ = 0;       ///< full segment dispatches
+    std::uint64_t barrierSkips_ = 0;   ///< provably-empty segments
+    std::uint64_t inlineSegments_ = 0; ///< single-partition drains
+    std::uint64_t bankEvents_ = 0;     ///< postPartition routings
+    /** @} */
+    PhaseProfile prof_;
 
     /** @{ worker pool: generation-counter barrier. The coordinator
      *  doubles as worker 0; worker threads cover partitions

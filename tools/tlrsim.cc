@@ -71,6 +71,10 @@ struct Options
     unsigned jobs = 0;       // 0 = auto (see resolveJobs)
     unsigned threads = 0;    // intra-sim workers; 0 = classic kernel
     Tick lookahead = 0;      // 0 = derive from the timing model
+    int dirBanks = 1;        // directory banks (address-interleaved)
+    bool batchedGlobals = true;  // coalesced serialized phases
+    bool dynamicLookahead = true; // promise-driven window bounds
+    bool snoopFilter = true; // elide snoops to stateless controllers
     size_t ringCapacity = 4096;
     std::string statsPrefix; // empty = no dump; "all" = everything
     Tick maxTicks = 2'000'000'000ull;
@@ -102,10 +106,20 @@ usage()
         "                      Default 0 = classic single-queue\n"
         "                      kernel; any N >= 1 is bit-identical to\n"
         "                      every other N >= 1. auto = hardware\n"
-        "                      concurrency\n"
+        "                      concurrency, or 0 (classic) on a\n"
+        "                      single-core host\n"
         "  --lookahead=N       conservative window override in cycles\n"
         "                      (0 = derive from the timing model;\n"
         "                      smaller = more barriers, same results)\n"
+        "  --dir-banks=N       directory banks, address-interleaved\n"
+        "                      by line; bank-local work runs in the\n"
+        "                      owning partition (default 1)\n"
+        "  --no-batched-globals  one barrier pair per serialized\n"
+        "                      global (PR-7 compat schedule)\n"
+        "  --no-dynamic-lookahead  fixed worst-case windows instead\n"
+        "                      of promise-driven bounds\n"
+        "  --no-snoop-filter   snoop every controller, even ones\n"
+        "                      holding no state for the line\n"
         "  --ops=N             total operations / iterations per cpu\n"
         "  --seed=N            deterministic RNG seed\n"
         "  --theta=X           db workloads: Zipfian key skew in\n"
@@ -232,6 +246,10 @@ buildMachineParams(const Options &o, Scheme scheme, int cpus)
     mp.collectMetrics = o.metrics;
     mp.threads = o.threads;
     mp.lookahead = o.lookahead;
+    mp.net.dirBanks = o.dirBanks;
+    mp.net.snoopFilter = o.snoopFilter;
+    mp.batchedGlobals = o.batchedGlobals;
+    mp.dynamicLookahead = o.dynamicLookahead;
     return mp;
 }
 
@@ -593,12 +611,34 @@ main(int argc, char **argv)
             o.jobs = v == "auto" ?
                          0 :
                          static_cast<unsigned>(std::atoi(v.c_str()));
-        else if (parseFlag(a, "--threads", v))
-            o.threads = v == "auto" ?
-                            defaultJobs() :
-                            static_cast<unsigned>(std::atoi(v.c_str()));
+        else if (parseFlag(a, "--threads", v)) {
+            if (v == "auto") {
+                // On a single-core host the partitioned kernel would
+                // only add barrier overhead; fall back to the classic
+                // single-queue kernel and say so.
+                unsigned hw = defaultJobs();
+                o.threads = hw > 1 ? hw : 0;
+                std::fprintf(stderr,
+                             "tlrsim: --threads=auto resolved to %u "
+                             "(hardware concurrency %u%s)\n",
+                             o.threads, hw,
+                             hw > 1 ? "" :
+                                      "; single core -> classic kernel");
+            } else {
+                o.threads =
+                    static_cast<unsigned>(std::atoi(v.c_str()));
+            }
+        }
         else if (parseFlag(a, "--lookahead", v))
             o.lookahead = std::strtoull(v.c_str(), nullptr, 0);
+        else if (parseFlag(a, "--dir-banks", v))
+            o.dirBanks = std::atoi(v.c_str());
+        else if (std::strcmp(a, "--no-batched-globals") == 0)
+            o.batchedGlobals = false;
+        else if (std::strcmp(a, "--no-dynamic-lookahead") == 0)
+            o.dynamicLookahead = false;
+        else if (std::strcmp(a, "--no-snoop-filter") == 0)
+            o.snoopFilter = false;
         else if (parseFlag(a, "--ops", v))
             o.ops = std::strtoull(v.c_str(), nullptr, 0);
         else if (parseFlag(a, "--seed", v))
