@@ -242,6 +242,23 @@ maybePrintExplainReports()
     }
 }
 
+/**
+ * Per-config epoch-timeline digests, printed when the runs carried the
+ * timeline (TLR_TIMELINE=N makes runScheme() attach it with N-cycle
+ * epochs; bench binaries that build MachineParams by hand set
+ * mp.timelineEpoch = envTimelineEpoch() themselves). Silent otherwise.
+ */
+inline void
+maybePrintTimelineReports()
+{
+    for (const auto &[key, r] : results()) {
+        if (!r.timelineReport)
+            continue;
+        std::printf("\n--- %s (TLR_TIMELINE) ---\n%s", key.c_str(),
+                    r.timelineReport->c_str());
+    }
+}
+
 /** Pre-run every registered simulation on @p jobs host threads. */
 inline void
 prewarmRegistry(unsigned jobs)
@@ -290,6 +307,7 @@ benchMain(int argc, char **argv, const std::function<void()> &register_fn,
     print_fn();
     maybePrintMetricsTable();
     maybePrintExplainReports();
+    maybePrintTimelineReports();
     return 0;
 }
 

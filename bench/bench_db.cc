@@ -83,6 +83,7 @@ runOne(const Mix &m, double theta, Scheme s)
     mp.spec = schemeSpecConfig(s);
     mp.collectMetrics = true; // the abort profile is the product here
     mp.explain = envExplain();
+    mp.timelineEpoch = envTimelineEpoch();
     return runWorkload(mp, m.make(p));
 }
 

@@ -41,6 +41,7 @@ runVariant(const std::string &name)
         mp.spec = schemeSpecConfig(Scheme::BaseSleTlr);
     }
     mp.explain = envExplain();
+    mp.timelineEpoch = envTimelineEpoch();
     return runWorkload(mp, makeReverseWriters(2, kIters * envScale()));
 }
 

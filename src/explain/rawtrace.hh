@@ -29,6 +29,7 @@
 #include <functional>
 #include <string>
 
+#include "sim/build_info.hh"
 #include "trace/filter.hh"
 #include "trace/sink.hh"
 
@@ -38,7 +39,7 @@ namespace tlr
 struct RawTraceHeader
 {
     char magic[8] = {'T', 'L', 'R', 'T', 'R', 'A', 'C', 'E'};
-    std::uint32_t version = 1;
+    std::uint32_t version = rawTraceFormatVersion;
     std::uint32_t recordSize = sizeof(TraceRecord);
     std::uint64_t recordCount = 0;
     std::uint64_t finalTick = 0;

@@ -41,6 +41,9 @@ runWorkload(const MachineParams &mp, const Workload &wl)
     if (sys.explainer())
         r.explainReport = std::make_shared<std::string>(
             sys.explainer()->report(ExplainMode::Txn));
+    if (sys.timeline())
+        r.timelineReport = std::make_shared<std::string>(
+            sys.timeline()->report());
     return r;
 }
 
@@ -53,6 +56,7 @@ runScheme(Scheme scheme, int num_cpus, const Workload &wl, Tick max_ticks)
     mp.maxTicks = max_ticks;
     mp.collectMetrics = envMetrics();
     mp.explain = envExplain();
+    mp.timelineEpoch = envTimelineEpoch();
     return runWorkload(mp, wl);
 }
 
@@ -78,6 +82,16 @@ envExplain()
 {
     const char *s = std::getenv("TLR_EXPLAIN");
     return s && *s && std::string(s) != "0";
+}
+
+Tick
+envTimelineEpoch()
+{
+    const char *s = std::getenv("TLR_TIMELINE");
+    if (!s)
+        return 0;
+    long long v = std::atoll(s);
+    return v > 0 ? static_cast<Tick>(v) : 0;
 }
 
 } // namespace tlr

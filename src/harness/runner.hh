@@ -47,6 +47,10 @@ struct RunStats
      *  MachineParams::explain was set. Shared for the same reason as
      *  metrics: RunStats must stay cheaply copyable in sweeps. */
     std::shared_ptr<const std::string> explainReport;
+    /** Epoch-timeline digest (src/timeline/); null unless
+     *  MachineParams::timelineEpoch was set. Shared for the same
+     *  reason as metrics. */
+    std::shared_ptr<const std::string> timelineReport;
     /** @} */
 
     /** Host-side: kernel events the run executed (events/sec metric;
@@ -87,6 +91,11 @@ bool envMetrics();
  *  the causal-conflict explainer and RunStats::explainReport carries
  *  the rendered top-K report (bench binaries print it). */
 bool envExplain();
+
+/** Epoch length from the TLR_TIMELINE environment variable (cycles;
+ *  0 = off, the default): runScheme() then attaches an EpochTimeline
+ *  and RunStats::timelineReport carries its digest. */
+Tick envTimelineEpoch();
 
 } // namespace tlr
 

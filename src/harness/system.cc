@@ -88,6 +88,10 @@ System::System(const MachineParams &params)
         explain_ = std::make_unique<Explainer>(params.explainTopK);
         trace_.addListener(explain_.get());
     }
+    if (params.timelineEpoch > 0) {
+        timeline_ = std::make_unique<EpochTimeline>(params.timelineEpoch);
+        trace_.addListener(timeline_.get());
+    }
     net_->setTrace(kernel_ ? &kernel_->sink(0) : &trace_);
     Rng root(params.seed);
     for (int i = 0; i < params.numCpus; ++i) {

@@ -21,6 +21,7 @@
 #include "cpu/core.hh"
 #include "mem/backing_store.hh"
 #include "metrics/collector.hh"
+#include "timeline/timeline.hh"
 #include "sim/event_queue.hh"
 #include "sim/parallel_kernel.hh"
 #include "sim/rng.hh"
@@ -62,6 +63,11 @@ struct MachineParams
     bool explain = false;
     /** Transactions listed in the explain report (--explain top-K). */
     unsigned explainTopK = 10;
+    /** Attach an EpochTimeline slicing the trace stream into epochs of
+     *  this many cycles (--timeline-epoch, DESIGN.md §14). Same
+     *  contract as collectMetrics/explain: arms the sink, never
+     *  perturbs simulated cycles. 0 (default) = off. */
+    Tick timelineEpoch = 0;
     std::uint64_t seed = 12345;
     Tick maxTicks = 2'000'000'000ull; ///< watchdog for livelock studies
 
@@ -129,6 +135,8 @@ class System
     MetricsCollector *metrics() { return metrics_.get(); }
     /** The attached explainer; null unless MachineParams::explain. */
     Explainer *explainer() { return explain_.get(); }
+    /** The attached timeline; null unless timelineEpoch > 0. */
+    EpochTimeline *timeline() { return timeline_.get(); }
 
     /** Attach an event-stream consumer (lifecycle tracker, custom
      *  checker). The sink arms itself on first listener. */
@@ -171,6 +179,7 @@ class System
     std::unique_ptr<InvariantRegistry> checkers_;
     std::unique_ptr<MetricsCollector> metrics_;
     std::unique_ptr<Explainer> explain_;
+    std::unique_ptr<EpochTimeline> timeline_;
     std::unique_ptr<Interconnect> net_;
     MemoryController mem_;
     std::vector<std::unique_ptr<SpecEngine>> engines_;

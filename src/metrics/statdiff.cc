@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <map>
@@ -121,6 +122,22 @@ diffStats(const JsonValue &old_doc, const JsonValue &new_doc,
         return rep;
     }
 
+    {
+        const JsonValue *oldLen =
+            resolvePath(*oldRoot, "timeline.epoch_len");
+        const JsonValue *newLen =
+            resolvePath(*newRoot, "timeline.epoch_len");
+        if (oldLen && oldLen->isNumber())
+            rep.oldEpochLen = static_cast<long>(oldLen->number);
+        if (newLen && newLen->isNumber())
+            rep.newEpochLen = static_cast<long>(newLen->number);
+        if (rep.oldEpochLen >= 0 && rep.newEpochLen >= 0 &&
+            rep.oldEpochLen != rep.newEpochLen) {
+            rep.timelineEpochMismatch = true;
+            return rep;
+        }
+    }
+
     std::vector<std::pair<std::string, double>> oldFlat, newFlat;
     flattenNumbers(*oldRoot, oldFlat);
     flattenNumbers(*newRoot, newFlat);
@@ -163,6 +180,32 @@ diffStats(const JsonValue &old_doc, const JsonValue &new_doc,
         if (!oldMap.count(key))
             rep.onlyNew.push_back(key);
     }
+
+    // Localize timeline regressions: a counter drifting mid-run shows
+    // up as hundreds of changed timeline.epochs[i].* rows; one line
+    // naming the first diverging epoch is the useful summary.
+    {
+        std::map<std::string, long> firstDiverging;
+        const std::string pre = "timeline.epochs[";
+        for (const DiffRow &r : rep.rows) {
+            if (r.oldVal == r.newVal ||
+                r.key.compare(0, pre.size(), pre) != 0)
+                continue;
+            size_t close = r.key.find(']', pre.size());
+            if (close == std::string::npos ||
+                close + 1 >= r.key.size() || r.key[close + 1] != '.')
+                continue;
+            long epoch = std::atol(r.key.c_str() + pre.size());
+            std::string field = r.key.substr(close + 2);
+            auto [it, fresh] = firstDiverging.emplace(field, epoch);
+            if (!fresh && epoch < it->second)
+                it->second = epoch;
+        }
+        for (const auto &[field, epoch] : firstDiverging)
+            rep.timelineNotes.push_back(
+                strfmt("timeline: %s diverges starting at epoch %ld",
+                       field.c_str(), epoch));
+    }
     return rep;
 }
 
@@ -182,6 +225,14 @@ renderDiff(const DiffReport &rep, const DiffOptions &opt)
                       schemaStr(rep.oldSchema).c_str(),
                       opt.newName.c_str(),
                       schemaStr(rep.newSchema).c_str());
+        return out;
+    }
+    if (rep.timelineEpochMismatch) {
+        out += strfmt("timeline epoch mismatch: %s has epoch_len %ld, "
+                      "%s has epoch_len %ld (refusing to diff "
+                      "timelines with different epoch lengths)\n",
+                      opt.oldName.c_str(), rep.oldEpochLen,
+                      opt.newName.c_str(), rep.newEpochLen);
         return out;
     }
     if (!rep.error.empty()) {
@@ -212,6 +263,8 @@ renderDiff(const DiffReport &rep, const DiffOptions &opt)
     }
     if (changed == 0)
         out += "  (no numeric changes)\n";
+    for (const std::string &n : rep.timelineNotes)
+        out += n + "\n";
     for (const std::string &k : rep.onlyOld)
         out += strfmt("only in old: %s\n", k.c_str());
     for (const std::string &k : rep.onlyNew)

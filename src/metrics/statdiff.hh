@@ -51,6 +51,16 @@ struct DiffRow
 struct DiffReport
 {
     bool schemaMismatch = false;
+    /** Both documents carry a "timeline" section and their epoch
+     *  lengths differ: per-epoch rows would mis-pair (epoch 3 of a
+     *  500-cycle timeline is not epoch 3 of a 2000-cycle one), so the
+     *  diff is refused like a schema mismatch. */
+    bool timelineEpochMismatch = false;
+    long oldEpochLen = -1; ///< -1 = no timeline section
+    long newEpochLen = -1;
+    /** Per-epoch regression localization: one line per timeline field
+     *  that changed, naming the first diverging epoch. */
+    std::vector<std::string> timelineNotes;
     /** Both documents record host_threads and the values differ: the
      *  runs used different host parallelism, so host-performance
      *  comparisons (speedup, wall time, events/sec) are meaningless.
@@ -64,7 +74,11 @@ struct DiffReport
     std::vector<std::string> onlyNew; ///< keys that appeared
     size_t exceeded = 0;              ///< rows over the threshold
 
-    bool ok() const { return error.empty() && !schemaMismatch; }
+    bool ok() const
+    {
+        return error.empty() && !schemaMismatch &&
+               !timelineEpochMismatch;
+    }
 };
 
 /** Compare two parsed stats documents. */

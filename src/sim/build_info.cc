@@ -72,4 +72,24 @@ buildMetaJson()
            "\", \"build_type\": \"" + jsonEscape(buildType()) + "\"}";
 }
 
+std::string
+versionString(const char *tool)
+{
+    std::string out;
+    out += tool;
+    out += " (tlr simulator)\n";
+    out += "  git:      ";
+    out += buildGitSha();
+    out += "\n  build:    ";
+    out += buildType();
+    out += "\n  compiler: ";
+    out += buildCompiler();
+    out += "\n  schemas:  stats-json v" +
+           std::to_string(statsSchemaVersion) + ", metrics v" +
+           std::to_string(metricsSchemaVersion) + ", raw-trace v" +
+           std::to_string(rawTraceFormatVersion) + ", timeline v" +
+           std::to_string(timelineSchemaVersion) + "\n";
+    return out;
+}
+
 } // namespace tlr

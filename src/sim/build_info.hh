@@ -30,6 +30,16 @@ inline constexpr int statsSchemaVersion = 2;
  *  metrics-off output is bit-identical across this bump. */
 inline constexpr int metricsSchemaVersion = 3;
 
+/** Version of the binary trace file layout (--trace-raw). Mirrored by
+ *  RawTraceHeader::version; kept here so `--version` can print every
+ *  schema in one place. */
+inline constexpr int rawTraceFormatVersion = 1;
+
+/** Version of the epoch-timeline layout: the "timeline" stats-json
+ *  section, the --timeline-out CSV and the TimelineAlert record shape
+ *  (src/timeline/). Bump on any shape or detector-semantics change. */
+inline constexpr int timelineSchemaVersion = 1;
+
 const char *buildCompiler(); ///< e.g. "gcc 13.2.0"
 const char *buildFlags();    ///< CMAKE_CXX_FLAGS the library was built with
 const char *buildGitSha();   ///< short HEAD sha at configure time
@@ -37,6 +47,10 @@ const char *buildType();     ///< CMAKE_BUILD_TYPE
 
 /** The complete "meta" JSON object (one line, no trailing newline). */
 std::string buildMetaJson();
+
+/** The `--version` text shared by tlrsim/tlrquery/tlrstat: tool name,
+ *  build metadata, and every schema version in one place. */
+std::string versionString(const char *tool);
 
 } // namespace tlr
 

@@ -1,0 +1,456 @@
+#include "timeline/timeline.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/build_info.hh"
+#include "sim/logging.hh"
+#include "trace/events.hh"
+
+namespace tlr
+{
+
+EpochTimeline::EpochTimeline(Tick epoch_len) : len_(epoch_len)
+{
+    if (len_ == 0)
+        panic("EpochTimeline requires a positive epoch length");
+    acc_.epoch = 0;
+    acc_.startTick = 0;
+}
+
+void
+EpochTimeline::onRecord(const TraceRecord &r)
+{
+    if (finished_)
+        return;
+    // The sink delivers records in nondecreasing tick order (classic
+    // mode executes events in tick order; the parallel kernel stitches
+    // capture buffers into tick order before replay), so epoch
+    // boundaries are crossings, never back-fills.
+    while (r.tick >= static_cast<Tick>(cur_ + 1) * len_)
+        closeEpoch();
+
+    ++acc_.records;
+    switch (r.kind) {
+      case TraceEvent::TxnElide:
+        if (r.a3 != 0)
+            ++acc_.elisions;
+        return;
+      case TraceEvent::TxnCommit:
+        ++acc_.commits;
+        return;
+      case TraceEvent::TxnRestart:
+        ++acc_.restarts;
+        if (r.a2 != 0)
+            ++acc_.fallbacks;
+        if (r.addr != 0)
+            ++epochScore_[r.addr];
+        return;
+      case TraceEvent::TxnQuantumEnd:
+        ++acc_.quantumEnds;
+        return;
+      case TraceEvent::CohDefer:
+      case TraceEvent::CohRelaxedDefer: {
+        ++acc_.defers;
+        ++epochScore_[r.addr];
+        auto key = std::make_pair(
+            r.addr, static_cast<std::int16_t>(r.a0));
+        // Keep the earliest deferral: a re-queued request waits from
+        // its first parking, and the waiter is already counted in the
+        // line's queue.
+        if (open_.emplace(key, OpenDefer{r.cpu, r.tick}).second) {
+            std::uint64_t q = ++queue_[r.addr];
+            std::uint64_t &hi = epochQueueMax_[r.addr];
+            hi = std::max(hi, q);
+        }
+        return;
+      }
+      case TraceEvent::CohService: {
+        ++acc_.services;
+        auto key = std::make_pair(
+            r.addr, static_cast<std::int16_t>(r.a0));
+        auto it = open_.find(key);
+        if (it != open_.end()) {
+            std::uint64_t span = r.tick - it->second.start;
+            acc_.deferWaitSum += span;
+            ++acc_.deferWaitCount;
+            acc_.deferWaitMax = std::max(acc_.deferWaitMax, span);
+            waitHist_.record(span);
+            open_.erase(it);
+            auto q = queue_.find(r.addr);
+            if (q != queue_.end() && q->second > 0 && --q->second == 0)
+                queue_.erase(q);
+        }
+        return;
+      }
+      case TraceEvent::CohDeferDepth:
+        acc_.maxDeferDepth = std::max(acc_.maxDeferDepth, r.a0);
+        return;
+      case TraceEvent::CohOrder:
+        ++acc_.orders;
+        return;
+      default:
+        return;
+    }
+}
+
+void
+EpochTimeline::finish(Tick now)
+{
+    if (finished_)
+        return;
+    // finished_ goes up first so the epoch callback (a live progress
+    // line) stays quiet while the final rows are closed.
+    finished_ = true;
+    finalTick_ = now;
+    while (now >= static_cast<Tick>(cur_ + 1) * len_)
+        closeEpoch();
+    closeEpoch(); // the partial final epoch containing `now`
+}
+
+std::uint64_t
+EpochTimeline::trailingSum(const std::vector<std::uint64_t> &hist) const
+{
+    std::uint64_t s = 0;
+    for (std::uint64_t v : hist)
+        s += v;
+    return s;
+}
+
+std::uint64_t
+EpochTimeline::trailingCount() const
+{
+    return histRestarts_.size();
+}
+
+void
+EpochTimeline::closeEpoch()
+{
+    Tick boundary = static_cast<Tick>(cur_ + 1) * len_;
+    // Hottest line of the epoch: most defers + conflict restarts, ties
+    // to the lowest address (map order makes the scan deterministic).
+    for (const auto &[line, score] : epochScore_) {
+        if (score > acc_.hotScore) {
+            acc_.hotScore = score;
+            acc_.hotLine = line;
+        }
+    }
+    for (const auto &[line, hi] : epochQueueMax_)
+        acc_.maxQueue = std::max(acc_.maxQueue, hi);
+
+    runDetectors(acc_, boundary);
+    rows_.push_back(acc_);
+
+    histRestarts_.push_back(acc_.restarts);
+    histCommits_.push_back(acc_.commits);
+    if (histRestarts_.size() > trailingWindow) {
+        histRestarts_.erase(histRestarts_.begin());
+        histCommits_.erase(histCommits_.begin());
+    }
+    if (onEpoch_ && !finished_)
+        onEpoch_(rows_.back(), alerts_.size());
+
+    ++cur_;
+    acc_ = EpochRow{};
+    acc_.epoch = cur_;
+    acc_.startTick = boundary;
+    epochScore_.clear();
+    // Waiters still parked carry their queue into the next epoch: a
+    // convoy that persists keeps its high-water mark without needing
+    // fresh deferrals.
+    epochQueueMax_.clear();
+    for (const auto &[line, q] : queue_)
+        epochQueueMax_[line] = q;
+}
+
+void
+EpochTimeline::runDetectors(const EpochRow &row, Tick boundary)
+{
+    // Trailing histories exclude the row being closed (they are
+    // appended after detection), so each detector compares the new
+    // epoch against up to trailingWindow previous ones.
+
+    // 1. Restart storm: restarts spike to stormFactor x the trailing
+    //    mean (an empty history counts as mean 0, so a storm that
+    //    starts at epoch 0 — the Figure 2 livelock — still fires).
+    {
+        std::uint64_t sum = trailingSum(histRestarts_);
+        std::uint64_t n = std::max<std::uint64_t>(trailingCount(), 1);
+        bool storm = row.restarts >= stormMinRestarts &&
+                     row.restarts * n > stormFactor * sum;
+        if (storm && !stormActive_) {
+            std::uint64_t thr = std::max(stormMinRestarts,
+                                         stormFactor * sum / n);
+            fire("restart-storm", row.hotLine, row.restarts, thr,
+                 boundary);
+        }
+        stormActive_ = storm;
+    }
+
+    // 2. Convoy onset: a line's simultaneous-waiter queue reached
+    //    convoyMinQueue this epoch. Per line, edge-triggered: the line
+    //    re-arms once its queue high-water mark drops back below the
+    //    threshold.
+    for (const auto &[line, hi] : epochQueueMax_) {
+        if (hi >= convoyMinQueue) {
+            if (convoyActive_.insert(line).second)
+                fire("convoy", line, hi, convoyMinQueue, boundary);
+        } else {
+            convoyActive_.erase(line);
+        }
+    }
+    for (auto it = convoyActive_.begin(); it != convoyActive_.end();) {
+        if (!epochQueueMax_.count(*it))
+            it = convoyActive_.erase(it);
+        else
+            ++it;
+    }
+
+    // 3. Starvation: an open deferral's age crosses a threshold
+    //    derived from the completed-wait distribution (starvationFactor
+    //    x p99), floored at four epochs so sparse histograms cannot
+    //    trip it on ordinary waits. One alert per (line, waiter).
+    {
+        double p99 = waitHist_.percentile(starvationPercentile);
+        std::uint64_t thr = std::max<std::uint64_t>(
+            4 * len_,
+            starvationFactor * static_cast<std::uint64_t>(p99));
+        for (const auto &[key, od] : open_) {
+            std::uint64_t age = boundary - od.start;
+            if (age > thr && starvedAlerted_.insert(key).second)
+                fire("starvation", key.first, age, thr, boundary);
+        }
+    }
+
+    // 4. Throughput collapse: commits drop below 1/collapseFactor of
+    //    the trailing mean while conflicts (restarts or deferrals)
+    //    continue — progress stopped, activity did not.
+    {
+        std::uint64_t sum = trailingSum(histCommits_);
+        std::uint64_t n = trailingCount();
+        bool collapse = n > 0 && sum >= collapseMinCommits &&
+                        row.commits * collapseFactor * n < sum &&
+                        (row.restarts + row.defers) > 0;
+        if (collapse && !collapseActive_)
+            fire("throughput-collapse", row.hotLine, row.commits,
+                 sum / (n * collapseFactor), boundary);
+        collapseActive_ = collapse;
+    }
+}
+
+void
+EpochTimeline::fire(const std::string &kind, Addr line,
+                    std::uint64_t value, std::uint64_t threshold,
+                    Tick boundary)
+{
+    TimelineAlert a;
+    a.kind = kind;
+    a.epoch = cur_;
+    a.line = line;
+    a.value = value;
+    a.threshold = threshold;
+    a.chain = chainFrom(line, boundary);
+    alerts_.push_back(std::move(a));
+}
+
+std::string
+EpochTimeline::chainFrom(Addr line, Tick at) const
+{
+    // Follow the longest-pending deferral on `line`, then the owner's
+    // own longest deferral, and so on — the same walk the explainer's
+    // causal chains perform, but over the live edge set at fire time.
+    std::string out;
+    std::set<std::int16_t> visited;
+    Addr curLine = line;
+    std::int16_t waiter = -1;
+    for (unsigned hop = 0; hop < maxChainHops; ++hop) {
+        const OpenDefer *best = nullptr;
+        std::pair<Addr, std::int16_t> bestKey{0, -1};
+        for (const auto &[key, od] : open_) {
+            if (hop == 0 ? key.first != curLine : key.second != waiter)
+                continue;
+            if (!best || od.start < best->start) {
+                best = &od;
+                bestKey = key;
+            }
+        }
+        if (!best)
+            break;
+        if (!visited.insert(bestKey.second).second)
+            break; // wait cycle: stop rather than loop
+        if (!out.empty())
+            out += " -> ";
+        out += strfmt("cpu%d waits on cpu%d (line %#llx, %llut)",
+                      bestKey.second, best->owner,
+                      static_cast<unsigned long long>(bestKey.first),
+                      static_cast<unsigned long long>(at - best->start));
+        waiter = best->owner;
+        curLine = 0;
+    }
+    return out;
+}
+
+std::string
+EpochTimeline::csv() const
+{
+    std::string out;
+    out += strfmt("# tlr-timeline schema=%d epoch_len=%llu "
+                  "final_tick=%llu epochs=%zu alerts=%zu\n",
+                  timelineSchemaVersion,
+                  static_cast<unsigned long long>(len_),
+                  static_cast<unsigned long long>(finalTick_),
+                  rows_.size(), alerts_.size());
+    out += "epoch,start_tick,records,commits,restarts,fallbacks,"
+           "elisions,quantum_ends,defers,services,orders,"
+           "defer_wait_sum,defer_wait_count,defer_wait_max,"
+           "max_defer_depth,max_queue,hot_line,hot_score\n";
+    for (const EpochRow &e : rows_) {
+        out += strfmt(
+            "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+            "%llu,%llu,%llu,%llu,%llu,%#llx,%llu\n",
+            static_cast<unsigned long long>(e.epoch),
+            static_cast<unsigned long long>(e.startTick),
+            static_cast<unsigned long long>(e.records),
+            static_cast<unsigned long long>(e.commits),
+            static_cast<unsigned long long>(e.restarts),
+            static_cast<unsigned long long>(e.fallbacks),
+            static_cast<unsigned long long>(e.elisions),
+            static_cast<unsigned long long>(e.quantumEnds),
+            static_cast<unsigned long long>(e.defers),
+            static_cast<unsigned long long>(e.services),
+            static_cast<unsigned long long>(e.orders),
+            static_cast<unsigned long long>(e.deferWaitSum),
+            static_cast<unsigned long long>(e.deferWaitCount),
+            static_cast<unsigned long long>(e.deferWaitMax),
+            static_cast<unsigned long long>(e.maxDeferDepth),
+            static_cast<unsigned long long>(e.maxQueue),
+            static_cast<unsigned long long>(e.hotLine),
+            static_cast<unsigned long long>(e.hotScore));
+    }
+    for (const TimelineAlert &a : alerts_) {
+        out += strfmt("alert,%s,%llu,%#llx,%llu,%llu,\"%s\"\n",
+                      a.kind.c_str(),
+                      static_cast<unsigned long long>(a.epoch),
+                      static_cast<unsigned long long>(a.line),
+                      static_cast<unsigned long long>(a.value),
+                      static_cast<unsigned long long>(a.threshold),
+                      a.chain.c_str());
+    }
+    return out;
+}
+
+std::string
+EpochTimeline::json() const
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "    \"schema\": " << timelineSchemaVersion << ",\n";
+    os << "    \"epoch_len\": " << len_ << ",\n";
+    os << "    \"final_tick\": " << finalTick_ << ",\n";
+    os << "    \"epochs\": [";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+        const EpochRow &e = rows_[i];
+        os << (i == 0 ? "\n" : ",\n");
+        os << strfmt(
+            "      {\"epoch\": %llu, \"start_tick\": %llu, "
+            "\"records\": %llu, \"commits\": %llu, \"restarts\": %llu, "
+            "\"fallbacks\": %llu, \"elisions\": %llu, "
+            "\"quantum_ends\": %llu, \"defers\": %llu, "
+            "\"services\": %llu, \"orders\": %llu, "
+            "\"defer_wait_sum\": %llu, \"defer_wait_count\": %llu, "
+            "\"defer_wait_max\": %llu, \"max_defer_depth\": %llu, "
+            "\"max_queue\": %llu, \"hot_line\": %llu, "
+            "\"hot_score\": %llu}",
+            static_cast<unsigned long long>(e.epoch),
+            static_cast<unsigned long long>(e.startTick),
+            static_cast<unsigned long long>(e.records),
+            static_cast<unsigned long long>(e.commits),
+            static_cast<unsigned long long>(e.restarts),
+            static_cast<unsigned long long>(e.fallbacks),
+            static_cast<unsigned long long>(e.elisions),
+            static_cast<unsigned long long>(e.quantumEnds),
+            static_cast<unsigned long long>(e.defers),
+            static_cast<unsigned long long>(e.services),
+            static_cast<unsigned long long>(e.orders),
+            static_cast<unsigned long long>(e.deferWaitSum),
+            static_cast<unsigned long long>(e.deferWaitCount),
+            static_cast<unsigned long long>(e.deferWaitMax),
+            static_cast<unsigned long long>(e.maxDeferDepth),
+            static_cast<unsigned long long>(e.maxQueue),
+            static_cast<unsigned long long>(e.hotLine),
+            static_cast<unsigned long long>(e.hotScore));
+    }
+    os << (rows_.empty() ? "],\n" : "\n    ],\n");
+    os << "    \"alerts\": [";
+    for (size_t i = 0; i < alerts_.size(); ++i) {
+        const TimelineAlert &a = alerts_[i];
+        os << (i == 0 ? "\n" : ",\n");
+        os << strfmt("      {\"kind\": \"%s\", \"epoch\": %llu, "
+                     "\"line\": %llu, \"value\": %llu, "
+                     "\"threshold\": %llu, \"chain\": \"%s\"}",
+                     a.kind.c_str(),
+                     static_cast<unsigned long long>(a.epoch),
+                     static_cast<unsigned long long>(a.line),
+                     static_cast<unsigned long long>(a.value),
+                     static_cast<unsigned long long>(a.threshold),
+                     a.chain.c_str());
+    }
+    os << (alerts_.empty() ? "]\n  }" : "\n    ]\n  }");
+    return os.str();
+}
+
+std::string
+EpochTimeline::report() const
+{
+    std::string out;
+    out += strfmt("-- timeline (epoch = %llu cycles, %zu epochs, "
+                  "%zu alerts) --\n",
+                  static_cast<unsigned long long>(len_), rows_.size(),
+                  alerts_.size());
+    const EpochRow *busiest = nullptr;
+    for (const EpochRow &e : rows_)
+        if (!busiest || e.records > busiest->records)
+            busiest = &e;
+    if (busiest && busiest->records > 0) {
+        out += strfmt("  busiest epoch %llu: %llu commits, "
+                      "%llu restarts, %llu defers (hot line %#llx)\n",
+                      static_cast<unsigned long long>(busiest->epoch),
+                      static_cast<unsigned long long>(busiest->commits),
+                      static_cast<unsigned long long>(busiest->restarts),
+                      static_cast<unsigned long long>(busiest->defers),
+                      static_cast<unsigned long long>(busiest->hotLine));
+    }
+    if (alerts_.empty()) {
+        out += "  (no alerts)\n";
+        return out;
+    }
+    for (const TimelineAlert &a : alerts_) {
+        out += strfmt("  [epoch %llu] %s: %llu vs threshold %llu on "
+                      "line %#llx\n",
+                      static_cast<unsigned long long>(a.epoch),
+                      a.kind.c_str(),
+                      static_cast<unsigned long long>(a.value),
+                      static_cast<unsigned long long>(a.threshold),
+                      static_cast<unsigned long long>(a.line));
+        if (!a.chain.empty())
+            out += strfmt("      chain: %s\n", a.chain.c_str());
+    }
+    return out;
+}
+
+std::vector<CounterTrack>
+EpochTimeline::counterTracks() const
+{
+    std::vector<CounterTrack> tracks(3);
+    tracks[0].name = "epoch commits";
+    tracks[1].name = "epoch restarts";
+    tracks[2].name = "epoch defers";
+    for (const EpochRow &e : rows_) {
+        tracks[0].samples.emplace_back(e.startTick, e.commits);
+        tracks[1].samples.emplace_back(e.startTick, e.restarts);
+        tracks[2].samples.emplace_back(e.startTick, e.defers);
+    }
+    return tracks;
+}
+
+} // namespace tlr

@@ -332,6 +332,57 @@ TEST(ParallelDeterminism, DbWorkloadBitIdentical)
     EXPECT_EQ(stripPkernel(base), stripPkernel(compatBase));
 }
 
+// The acceptance artifact for the timeline subsystem: the same
+// --timeline-epoch run at any thread count emits a byte-identical CSV
+// (epoch rows AND the alert stream), because the timeline is a pure
+// listener on the stitched record stream. Classic mode (threads=0) is
+// held to the same bytes — the partitioned schedule replays the same
+// record sequence the single queue produces.
+TEST(ParallelDeterminism, TimelineCsvBitIdenticalAcrossThreads)
+{
+    WorkloadParams wp;
+    wp.numCpus = 8;
+    wp.ops = 64;
+    wp.seed = 7;
+    auto csv = [&](unsigned threads) {
+        MachineParams mp = machineParams(Scheme::BaseSleTlr, 8);
+        mp.threads = threads;
+        mp.timelineEpoch = 1500;
+        wp.lockKind = schemeLockKind(Scheme::BaseSleTlr);
+        System sys(mp);
+        installWorkload(sys, makeRegisteredWorkload("ycsb-a", wp));
+        EXPECT_TRUE(sys.run());
+        return sys.timeline()->csv();
+    };
+    std::string base = csv(1);
+    EXPECT_FALSE(base.empty());
+    EXPECT_EQ(base, csv(2));
+    EXPECT_EQ(base, csv(4));
+    EXPECT_EQ(base, csv(8));
+    EXPECT_EQ(base, csv(0)); // classic kernel, same record stream
+}
+
+// Attaching the timeline must not move a single event: cycles and
+// every stats counter stay bit-identical to a timeline-off run, on
+// both the classic and the partitioned kernel.
+TEST(ParallelDeterminism, TimelineOffOnSameSimulatedResults)
+{
+    auto fp = [&](unsigned threads, Tick epoch) {
+        MachineParams mp = machineParams(Scheme::BaseSleTlr, 4);
+        mp.threads = threads;
+        mp.timelineEpoch = epoch;
+        System sys(mp);
+        installWorkload(sys, makeSingleCounter(
+                                 microParams(Scheme::BaseSleTlr, 4,
+                                             2048)));
+        EXPECT_TRUE(sys.run());
+        return std::to_string(sys.completionTick()) + "\n" +
+               sys.stats().dumpJson();
+    };
+    EXPECT_EQ(fp(0, 0), fp(0, 1000));
+    EXPECT_EQ(fp(4, 0), fp(4, 1000));
+}
+
 TEST(ParallelDeterminism, WatchdogBitIdenticalAcrossThreads)
 {
     auto fp = [&](unsigned threads) {

@@ -28,7 +28,9 @@
 
 #include "explain/explain.hh"
 #include "explain/rawtrace.hh"
+#include "sim/build_info.hh"
 #include "sim/logging.hh"
+#include "timeline/timeline.hh"
 #include "trace/filter.hh"
 #include "trace/lifecycle.hh"
 
@@ -50,6 +52,7 @@ struct Options
     std::string explainJson;
     std::string out;       // output destination ("" = stdout)
     std::uint64_t limit = 0; // 0 = unlimited
+    Tick timelineEpoch = 0;  // --timeline=N offline reconstruction
 };
 
 void
@@ -74,7 +77,13 @@ usage()
         "                      cpu\n"
         "  --explain-dot=FILE  write the conflict graph as DOT\n"
         "  --explain-json=FILE write the explain document as JSON\n"
-        "  --out=FILE          write output to FILE instead of stdout\n");
+        "  --timeline=N        replay the whole file through the epoch\n"
+        "                      timeline (N-cycle epochs) and emit the\n"
+        "                      CSV — byte-identical to the same run's\n"
+        "                      online tlrsim --timeline-epoch=N\n"
+        "                      --timeline-out\n"
+        "  --out=FILE          write output to FILE instead of stdout\n"
+        "  --version           build metadata + schema versions\n");
 }
 
 bool
@@ -163,8 +172,14 @@ main(int argc, char **argv)
             o.explainMode = v;
         }
         else if (std::strcmp(a, "--explain") == 0) o.explainOn = true;
+        else if (parseFlag(a, "--timeline", v))
+            o.timelineEpoch = std::strtoull(v.c_str(), nullptr, 0);
         else if (parseFlag(a, "--out", v)) o.out = v;
         else if (std::strcmp(a, "--header") == 0) o.header = true;
+        else if (std::strcmp(a, "--version") == 0) {
+            std::printf("%s", versionString("tlrquery").c_str());
+            return 0;
+        }
         else if (std::strcmp(a, "--help") == 0 ||
                  std::strcmp(a, "-h") == 0) {
             usage();
@@ -187,6 +202,19 @@ main(int argc, char **argv)
     }
     if (o.count && o.explainOn) {
         std::fprintf(stderr, "--count and --explain are exclusive\n");
+        return 1;
+    }
+    if (o.timelineEpoch > 0 && (o.count || o.explainOn)) {
+        std::fprintf(stderr,
+                     "--timeline is exclusive with --count/--explain\n");
+        return 1;
+    }
+    if (o.timelineEpoch > 0 && !filter.empty()) {
+        // A thinned stream would reconstruct a different timeline than
+        // the online run saw; refuse rather than silently diverge.
+        std::fprintf(stderr,
+                     "--timeline replays the full stream (no --filter); "
+                     "record the file unfiltered\n");
         return 1;
     }
     if (o.count && o.countKey != "kind" && o.countKey != "cpu" &&
@@ -234,6 +262,13 @@ main(int argc, char **argv)
                         key.c_str()));
         emit(strfmt("%12llu  total\n",
                     static_cast<unsigned long long>(total)));
+    } else if (o.timelineEpoch > 0) {
+        // The exact offline mirror of tlrsim --timeline-epoch: the
+        // full record stream plus finish(finalTick), so the CSV is
+        // byte-identical to the online --timeline-out file.
+        EpochTimeline timeline(o.timelineEpoch);
+        reader.replay(timeline);
+        emit(timeline.csv());
     } else if (o.explainOn) {
         Explainer explainer;
         reader.forEach([&](const TraceRecord &r) {

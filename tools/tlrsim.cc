@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h> // isatty: --progress is a TTY-only status line
+
 #include "explain/explain.hh"
 #include "explain/rawtrace.hh"
 #include "harness/runner.hh"
@@ -66,6 +68,9 @@ struct Options
     std::string explainJson; // explain JSON destination
     bool checkInvariants = false;
     bool metrics = false;    // latency/contention/traffic profiling
+    Tick timelineEpoch = 0;  // epoch-sliced telemetry; 0 = off
+    std::string timelineOut; // timeline CSV destination
+    bool progress = false;   // per-epoch stderr status line (TTY only)
     std::string statsJson;   // JSON counter dump destination
     std::string benchJson;   // per-config host-perf dump destination
     unsigned jobs = 0;       // 0 = auto (see resolveJobs)
@@ -163,9 +168,24 @@ usage()
         "                      DOT (implies --explain)\n"
         "  --explain-json=FILE write instances/edges/cycles as JSON\n"
         "                      (implies --explain)\n"
+        "  --timeline-epoch=N  slice the run into N-cycle epochs: per-\n"
+        "                      epoch commit/restart/defer deltas plus\n"
+        "                      online restart-storm/convoy/starvation/\n"
+        "                      throughput-collapse alerts (report on\n"
+        "                      stdout, \"timeline\" section in\n"
+        "                      --stats-json, counter tracks in\n"
+        "                      --trace-out; DESIGN.md §14)\n"
+        "  --timeline-out=FILE write the per-epoch rows and alert\n"
+        "                      stream as CSV (byte-identical across\n"
+        "                      --threads counts and to tlrquery\n"
+        "                      --timeline offline reconstruction)\n"
+        "  --progress          one stderr status line refreshed per\n"
+        "                      epoch (needs --timeline-epoch);\n"
+        "                      auto-disabled when stderr is not a TTY\n"
         "  --trace-ring=N      flight-recorder depth in records (4096)\n"
         "  --check-invariants  run online invariant checkers; panic at\n"
         "                      the first violating tick\n"
+        "  --version           build metadata + schema versions\n"
         "  --list              list workloads and exit\n");
 }
 
@@ -250,6 +270,7 @@ buildMachineParams(const Options &o, Scheme scheme, int cpus)
     mp.net.snoopFilter = o.snoopFilter;
     mp.batchedGlobals = o.batchedGlobals;
     mp.dynamicLookahead = o.dynamicLookahead;
+    mp.timelineEpoch = o.timelineEpoch;
     return mp;
 }
 
@@ -339,8 +360,50 @@ runSingle(const Options &o, const std::string &schemeStr, int cpus)
     if (!o.traceFilter.empty() && o.traceRaw.empty())
         fatal("--trace-filter only thins the --trace-raw file; "
               "add --trace-raw=FILE");
+    if (!o.timelineOut.empty() && o.timelineEpoch == 0)
+        fatal("--timeline-out needs --timeline-epoch=N");
+    if (o.progress && o.timelineEpoch == 0)
+        fatal("--progress refreshes per epoch; add --timeline-epoch=N");
 
     System sys(mp);
+    // Live status line, refreshed at every epoch boundary. Stderr-only
+    // and host-time based, so it can never perturb the simulated run
+    // or any compared artifact; silently off when stderr is a pipe so
+    // CI logs stay clean.
+    bool progressActive = o.progress && sys.timeline() &&
+                          isatty(fileno(stderr));
+    if (progressActive) {
+        auto start = std::chrono::steady_clock::now();
+        auto total = std::make_shared<std::uint64_t>(0);
+        sys.timeline()->setEpochCallback(
+            [start, total](const EpochRow &e, std::uint64_t alerts) {
+                *total += e.records;
+                double sec = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() -
+                                 start)
+                                 .count();
+                double evps = sec > 0 ?
+                                  static_cast<double>(*total) / sec :
+                                  0;
+                std::uint64_t tried = e.commits + e.restarts;
+                double abortPct = tried > 0 ?
+                                      100.0 *
+                                          static_cast<double>(
+                                              e.restarts) /
+                                          static_cast<double>(tried) :
+                                      0;
+                std::fprintf(stderr,
+                             "\r\033[Kepoch %llu @ %llu cycles | "
+                             "abort rate %.1f%% | %.2fM rec/s | "
+                             "alerts %llu",
+                             static_cast<unsigned long long>(e.epoch),
+                             static_cast<unsigned long long>(
+                                 e.startTick),
+                             abortPct, evps / 1e6,
+                             static_cast<unsigned long long>(alerts));
+                std::fflush(stderr);
+            });
+    }
     TxnLifecycle lifecycle;
     if (!o.traceOut.empty())
         sys.addTraceListener(&lifecycle);
@@ -369,6 +432,8 @@ runSingle(const Options &o, const std::string &schemeStr, int cpus)
     double wallSec = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - t0)
                          .count();
+    if (progressActive)
+        std::fprintf(stderr, "\n");
     bool valid = wl.validate ? wl.validate(sys) : true;
     const StatSet &s = sys.stats();
 
@@ -404,6 +469,15 @@ runSingle(const Options &o, const std::string &schemeStr, int cpus)
     }
     if (o.metrics)
         std::printf("%s", sys.metrics()->snapshot().summary().c_str());
+    if (sys.timeline())
+        std::printf("%s", sys.timeline()->report().c_str());
+    if (!o.timelineOut.empty()) {
+        std::ofstream out(o.timelineOut, std::ios::binary);
+        if (!out)
+            fatal("cannot write timeline file '%s'",
+                  o.timelineOut.c_str());
+        out << sys.timeline()->csv();
+    }
     if (o.explainOn) {
         std::printf("%s",
                     sys.explainer()
@@ -431,6 +505,11 @@ runSingle(const Options &o, const std::string &schemeStr, int cpus)
         std::vector<CounterTrack> tracks;
         if (o.metrics)
             tracks = sys.metrics()->counterTracks();
+        if (sys.timeline()) {
+            std::vector<CounterTrack> tl =
+                sys.timeline()->counterTracks();
+            tracks.insert(tracks.end(), tl.begin(), tl.end());
+        }
         std::vector<FlowArrow> flows;
         if (o.explainOn)
             flows = sys.explainer()->flowArrows();
@@ -451,10 +530,15 @@ runSingle(const Options &o, const std::string &schemeStr, int cpus)
         std::ofstream out(o.statsJson);
         if (!out)
             fatal("cannot write stats file '%s'", o.statsJson.c_str());
-        out << s.dumpJson(
-            o.metrics ? "  \"metrics\": " +
-                            sys.metrics()->snapshot().json() :
-                        std::string());
+        std::string extra;
+        if (o.metrics)
+            extra = "  \"metrics\": " + sys.metrics()->snapshot().json();
+        if (sys.timeline()) {
+            if (!extra.empty())
+                extra += ",\n";
+            extra += "  \"timeline\": " + sys.timeline()->json();
+        }
+        out << s.dumpJson(extra);
     }
     if (!o.benchJson.empty()) {
         ConfigRow row;
@@ -482,6 +566,9 @@ runSweepMode(const Options &o, const std::vector<std::string> &schemes,
     if (o.explainOn || !o.traceRaw.empty())
         fatal("--explain/--trace-raw need a single (scheme, cpus) "
               "config; narrow --scheme/--cpus");
+    if (o.timelineEpoch > 0 || o.progress)
+        fatal("--timeline-epoch/--progress need a single (scheme, "
+              "cpus) config; narrow --scheme/--cpus");
     if (!o.statsPrefix.empty())
         fatal("--stats needs a single (scheme, cpus) config; narrow "
               "--scheme/--cpus");
@@ -687,6 +774,14 @@ main(int argc, char **argv)
         else if (std::strcmp(a, "--check-invariants") == 0)
             o.checkInvariants = true;
         else if (std::strcmp(a, "--metrics") == 0) o.metrics = true;
+        else if (parseFlag(a, "--timeline-epoch", v))
+            o.timelineEpoch = std::strtoull(v.c_str(), nullptr, 0);
+        else if (parseFlag(a, "--timeline-out", v)) o.timelineOut = v;
+        else if (std::strcmp(a, "--progress") == 0) o.progress = true;
+        else if (std::strcmp(a, "--version") == 0) {
+            std::printf("%s", versionString("tlrsim").c_str());
+            return 0;
+        }
         else if (std::strcmp(a, "--trace") == 0) o.trace = true;
         else if (std::strcmp(a, "--list") == 0) o.listWorkloads = true;
         else if (std::strcmp(a, "--help") == 0 ||
@@ -708,10 +803,16 @@ main(int argc, char **argv)
     std::vector<int> cpusList;
     for (const std::string &c : splitList(o.cpus))
         cpusList.push_back(std::atoi(c.c_str()));
-    if (schemes.empty() || cpusList.empty())
-        fatal("--scheme/--cpus must name at least one value");
 
-    if (schemes.size() * cpusList.size() == 1)
-        return runSingle(o, schemes[0], cpusList[0]);
-    return runSweepMode(o, schemes, cpusList);
+    // fatal() throws after printing its message; a CLI should turn
+    // that into a clean non-zero exit, not an abort.
+    try {
+        if (schemes.empty() || cpusList.empty())
+            fatal("--scheme/--cpus must name at least one value");
+        if (schemes.size() * cpusList.size() == 1)
+            return runSingle(o, schemes[0], cpusList[0]);
+        return runSweepMode(o, schemes, cpusList);
+    } catch (const std::exception &) {
+        return 1;
+    }
 }

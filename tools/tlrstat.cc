@@ -8,7 +8,7 @@
  *
  *   0  compared cleanly, no threshold violations
  *   1  usage / IO / parse error
- *   2  schema_version mismatch (refuses to diff)
+ *   2  schema_version or timeline epoch_len mismatch (refuses to diff)
  *   3  at least one delta exceeded the threshold
  *
  * Usage: tlrstat [options] OLD.json NEW.json
@@ -27,6 +27,7 @@
 #include <string>
 
 #include "metrics/statdiff.hh"
+#include "sim/build_info.hh"
 #include "sim/json.hh"
 
 namespace
@@ -100,6 +101,9 @@ main(int argc, char **argv)
         } else if (arg.rfind("--new-prefix=", 0) == 0) {
             opt.newPrefix = arg.substr(13);
             newPrefixSet = true;
+        } else if (arg == "--version") {
+            std::printf("%s", tlr::versionString("tlrstat").c_str());
+            return 0;
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -130,7 +134,7 @@ main(int argc, char **argv)
     opt.newName = newPath;
     tlr::DiffReport rep = tlr::diffStats(oldDoc, newDoc, opt);
     std::fputs(tlr::renderDiff(rep, opt).c_str(), stdout);
-    if (rep.schemaMismatch)
+    if (rep.schemaMismatch || rep.timelineEpochMismatch)
         return 2;
     if (!rep.error.empty())
         return 1;
