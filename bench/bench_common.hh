@@ -259,6 +259,23 @@ maybePrintTimelineReports()
     }
 }
 
+/**
+ * One closing pointer when TLR_REPORT=LEDGER_DIR was set: every
+ * simulation this binary ran appended a run bundle to the ledger
+ * (runWorkload's env hook), so tell the user where the flight reports
+ * come from. Silent otherwise, keeping default bench output unchanged.
+ */
+inline void
+maybePrintReportLedgerNote()
+{
+    std::string dir = tlr::envReportDir();
+    if (dir.empty())
+        return;
+    std::printf("\nrun bundles appended to %s (TLR_REPORT); render "
+                "with: tlrreport %s/<entry> | tlrreport --trend %s\n",
+                dir.c_str(), dir.c_str(), dir.c_str());
+}
+
 /** Pre-run every registered simulation on @p jobs host threads. */
 inline void
 prewarmRegistry(unsigned jobs)
@@ -308,6 +325,7 @@ benchMain(int argc, char **argv, const std::function<void()> &register_fn,
     maybePrintMetricsTable();
     maybePrintExplainReports();
     maybePrintTimelineReports();
+    maybePrintReportLedgerNote();
     return 0;
 }
 

@@ -97,6 +97,13 @@ bool envExplain();
  *  and RunStats::timelineReport carries its digest. */
 Tick envTimelineEpoch();
 
+/** Ledger directory from the TLR_REPORT environment variable ("" =
+ *  off, the default): runWorkload() then appends a run bundle (see
+ *  src/report/bundle.hh) for every simulation it executes, so bench
+ *  and experiment binaries produce tlrreport-renderable flight
+ *  reports without new flags. */
+std::string envReportDir();
+
 } // namespace tlr
 
 #endif // TLR_HARNESS_RUNNER_HH

@@ -7,6 +7,7 @@
 #include <limits>
 #include <map>
 
+#include "sim/build_info.hh"
 #include "sim/logging.hh"
 
 namespace tlr
@@ -51,9 +52,10 @@ schemaOf(const JsonValue &doc)
     return s && s->isNumber() ? static_cast<long>(s->number) : -1;
 }
 
-/** Host-performance keys: meaningful only when both runs used the
- *  same host-thread budget. Matched on the final path component so
- *  per-config variants (threads_4_speedup) are covered too. */
+} // namespace
+
+// Matched on the final path component so per-config variants
+// (threads_4_speedup) are covered too.
 bool
 isHostPerfKey(const std::string &key)
 {
@@ -70,8 +72,6 @@ isHostPerfKey(const std::string &key)
     }
     return false;
 }
-
-} // namespace
 
 void
 flattenNumbers(const JsonValue &v,
@@ -273,6 +273,100 @@ renderDiff(const DiffReport &rep, const DiffOptions &opt)
                   "threshold (%.1f%%)\n",
                   rep.rows.size(), changed, rep.exceeded,
                   opt.thresholdPct);
+    return out;
+}
+
+namespace
+{
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/** JSON has no Infinity literal; relPct for a 0 -> nonzero change is
+ *  serialized as null (consumers treat null as "undefined ratio"). */
+std::string
+jsonNum(double v)
+{
+    if (std::isinf(v) || std::isnan(v))
+        return "null";
+    return strfmt("%.6g", v);
+}
+
+} // namespace
+
+std::string
+renderDiffJson(const DiffReport &rep, const DiffOptions &opt)
+{
+    std::string out;
+    out += strfmt("{\n  \"schema_version\": %d,\n", diffJsonSchemaVersion);
+    out += "  \"old\": {\"name\": " + jsonQuote(opt.oldName) +
+           strfmt(", \"schema\": %ld},\n", rep.oldSchema);
+    out += "  \"new\": {\"name\": " + jsonQuote(opt.newName) +
+           strfmt(", \"schema\": %ld},\n", rep.newSchema);
+    out += strfmt("  \"threshold_pct\": %.6g,\n", opt.thresholdPct);
+
+    const char *refusal = rep.schemaMismatch ? "schema_mismatch"
+                          : rep.timelineEpochMismatch
+                              ? "timeline_epoch_mismatch"
+                          : !rep.error.empty() ? "error"
+                                               : nullptr;
+    if (refusal) {
+        out += strfmt("  \"refused\": true,\n  \"refusal\": \"%s\",\n",
+                      refusal);
+        if (!rep.error.empty())
+            out += "  \"error\": " + jsonQuote(rep.error) + ",\n";
+        if (rep.timelineEpochMismatch)
+            out += strfmt("  \"old_epoch_len\": %ld, "
+                          "\"new_epoch_len\": %ld,\n",
+                          rep.oldEpochLen, rep.newEpochLen);
+        out += "  \"rows\": [],\n  \"only_old\": [], \"only_new\": [],\n"
+               "  \"timeline_notes\": [],\n"
+               "  \"compared\": 0, \"changed\": 0, \"exceeded\": 0\n}\n";
+        return out;
+    }
+
+    out += "  \"refused\": false,\n";
+    out += strfmt("  \"host_threads_differ\": %s,\n",
+                  rep.hostThreadsDiffer ? "true" : "false");
+    size_t changed = 0;
+    out += "  \"rows\": [\n";
+    for (size_t i = 0; i < rep.rows.size(); ++i) {
+        const DiffRow &r = rep.rows[i];
+        if (r.relPct != 0)
+            ++changed;
+        out += "    {\"key\": " + jsonQuote(r.key) +
+               ", \"old\": " + jsonNum(r.oldVal) +
+               ", \"new\": " + jsonNum(r.newVal) +
+               ", \"rel_pct\": " + jsonNum(r.relPct) +
+               strfmt(", \"exceeded\": %s, \"report_only\": %s}%s\n",
+                      r.exceeded ? "true" : "false",
+                      r.reportOnly ? "true" : "false",
+                      i + 1 < rep.rows.size() ? "," : "");
+    }
+    out += "  ],\n";
+    auto strArray = [&](const char *name,
+                        const std::vector<std::string> &v) {
+        out += strfmt("  \"%s\": [", name);
+        for (size_t i = 0; i < v.size(); ++i)
+            out += (i ? ", " : "") + jsonQuote(v[i]);
+        out += "],\n";
+    };
+    strArray("only_old", rep.onlyOld);
+    strArray("only_new", rep.onlyNew);
+    strArray("timeline_notes", rep.timelineNotes);
+    out += strfmt("  \"compared\": %zu, \"changed\": %zu, "
+                  "\"exceeded\": %zu\n}\n",
+                  rep.rows.size(), changed, rep.exceeded);
     return out;
 }
 

@@ -89,6 +89,18 @@ DiffReport diffStats(const JsonValue &old_doc, const JsonValue &new_doc,
  *  violations marked), plus appeared/disappeared key summaries. */
 std::string renderDiff(const DiffReport &rep, const DiffOptions &opt);
 
+/** Machine-readable report (tlrstat --json): a versioned document
+ *  (diffJsonSchemaVersion) with one row object per DiffRow — including
+ *  report-only rows — plus the refusal/note state, so CI can gate on
+ *  specific keys without scraping the human table. */
+std::string renderDiffJson(const DiffReport &rep, const DiffOptions &opt);
+
+/** True for host-performance keys (speedup, efficiency, wall_sec,
+ *  events_per_sec, host_threads — matched on the final path component):
+ *  meaningful only when both runs used the same host-thread budget.
+ *  Shared with tlrreport --trend, which marks them report-only. */
+bool isHostPerfKey(const std::string &key);
+
 /** Flatten every numeric leaf under @p v into @p out as
  *  ("a.b.c", value) pairs. Skips the schema_version field and the
  *  meta subtree at the top level (build metadata is not a metric). */

@@ -88,7 +88,9 @@ versionString(const char *tool)
            std::to_string(statsSchemaVersion) + ", metrics v" +
            std::to_string(metricsSchemaVersion) + ", raw-trace v" +
            std::to_string(rawTraceFormatVersion) + ", timeline v" +
-           std::to_string(timelineSchemaVersion) + "\n";
+           std::to_string(timelineSchemaVersion) + ", bundle v" +
+           std::to_string(reportBundleSchemaVersion) + ", diff-json v" +
+           std::to_string(diffJsonSchemaVersion) + "\n";
     return out;
 }
 

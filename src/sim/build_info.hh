@@ -40,6 +40,16 @@ inline constexpr int rawTraceFormatVersion = 1;
  *  (src/timeline/). Bump on any shape or detector-semantics change. */
 inline constexpr int timelineSchemaVersion = 1;
 
+/** Version of the run-ledger bundle layout (src/report/): the
+ *  manifest.json shape, the entry directory naming scheme and the set
+ *  of artifact files a bundle may carry. tlrreport refuses bundles
+ *  from a different bundle schema. Bump on any layout change. */
+inline constexpr int reportBundleSchemaVersion = 1;
+
+/** Version of the tlrstat --json diff document (one row object per
+ *  DiffRow; src/metrics/statdiff). Bump on any shape change. */
+inline constexpr int diffJsonSchemaVersion = 1;
+
 const char *buildCompiler(); ///< e.g. "gcc 13.2.0"
 const char *buildFlags();    ///< CMAKE_CXX_FLAGS the library was built with
 const char *buildGitSha();   ///< short HEAD sha at configure time

@@ -31,6 +31,7 @@
 
 #include "explain/explain.hh"
 #include "explain/rawtrace.hh"
+#include "report/bundle.hh"
 #include "harness/runner.hh"
 #include "harness/scheme.hh"
 #include "harness/sweep.hh"
@@ -71,8 +72,9 @@ struct Options
     Tick timelineEpoch = 0;  // epoch-sliced telemetry; 0 = off
     std::string timelineOut; // timeline CSV destination
     bool progress = false;   // per-epoch stderr status line (TTY only)
-    std::string statsJson;   // JSON counter dump destination
-    std::string benchJson;   // per-config host-perf dump destination
+    std::string statsJson;   // JSON counter dump destination ("-" = stdout)
+    std::string benchJson;   // per-config host-perf dump ("-" = stdout)
+    std::string reportDir;   // run-ledger directory; "" = no bundle
     unsigned jobs = 0;       // 0 = auto (see resolveJobs)
     unsigned threads = 0;    // intra-sim workers; 0 = classic kernel
     Tick lookahead = 0;      // 0 = derive from the timing model
@@ -139,13 +141,20 @@ usage()
         "  --preempt-quantum=N suspension length in cycles\n"
         "  --max-ticks=N       watchdog horizon\n"
         "  --stats[=PREFIX]    dump counters (optionally filtered)\n"
-        "  --stats-json=FILE   write all counters as JSON\n"
+        "  --stats-json=FILE   write all counters as JSON ('-' =\n"
+        "                      stdout; the human summary then moves to\n"
+        "                      stderr. At most one of --stats-json/\n"
+        "                      --timeline-out/--bench-json may be '-')\n"
+        "  --report-dir=DIR    append a run bundle (manifest, stats\n"
+        "                      json, timeline CSV, explain digest, raw\n"
+        "                      trace) to the ledger directory DIR;\n"
+        "                      render it with tlrreport\n"
         "  --metrics           collect latency histograms, per-lock\n"
         "                      contention and interconnect traffic;\n"
         "                      prints tables, extends --stats-json and\n"
         "                      adds counter tracks to --trace-out\n"
         "  --bench-json=FILE   write per-config wall-clock and\n"
-        "                      events/sec as JSON\n"
+        "                      events/sec as JSON ('-' = stdout)\n"
         "  --trace             emit the event trace on stderr\n"
         "  --trace-out=FILE    write per-transaction lifecycle spans as\n"
         "                      Chrome-trace JSON (Perfetto-loadable);\n"
@@ -178,7 +187,8 @@ usage()
         "  --timeline-out=FILE write the per-epoch rows and alert\n"
         "                      stream as CSV (byte-identical across\n"
         "                      --threads counts and to tlrquery\n"
-        "                      --timeline offline reconstruction)\n"
+        "                      --timeline offline reconstruction;\n"
+        "                      '-' = stdout)\n"
         "  --progress          one stderr status line refreshed per\n"
         "                      epoch (needs --timeline-epoch);\n"
         "                      auto-disabled when stderr is not a TTY\n"
@@ -299,13 +309,26 @@ struct ConfigRow
     double wallSec = 0;
 };
 
+/** Write a text artifact to a file, or to stdout when the target is
+ *  '-' (the human summary has already been routed to stderr then). */
+void
+writeTextArtifact(const std::string &path, const std::string &text,
+                  const char *what)
+{
+    if (path == "-") {
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return;
+    }
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot write %s file '%s'", what, path.c_str());
+    out << text;
+}
+
 void
 writeBenchJson(const Options &o, const std::vector<ConfigRow> &rows)
 {
-    std::ofstream out(o.benchJson);
-    if (!out)
-        fatal("cannot write bench file '%s'", o.benchJson.c_str());
-    out << "[\n";
+    std::string doc = "[\n";
     for (size_t i = 0; i < rows.size(); ++i) {
         const ConfigRow &r = rows[i];
         double evps = r.wallSec > 0 ?
@@ -326,9 +349,10 @@ writeBenchJson(const Options &o, const std::vector<ConfigRow> &rows)
             static_cast<unsigned long long>(r.stats.cycles),
             static_cast<unsigned long long>(r.stats.kernelEvents),
             r.wallSec, evps, i + 1 < rows.size() ? "," : "");
-        out << buf;
+        doc += buf;
     }
-    out << "]\n";
+    doc += "]\n";
+    writeTextArtifact(o.benchJson, doc, "bench");
 }
 
 ExplainMode
@@ -349,6 +373,14 @@ runSingle(const Options &o, const std::string &schemeStr, int cpus)
     Scheme scheme = parseScheme(schemeStr);
     Trace::enabled = o.trace;
     MachineParams mp = buildMachineParams(o, scheme, cpus);
+
+    // A '-' sink owns stdout; the human-readable summary moves to
+    // stderr so the machine document stays clean for pipes. main()
+    // already refused more than one stdout sink.
+    FILE *rpt = (o.statsJson == "-" || o.timelineOut == "-" ||
+                 o.benchJson == "-")
+                    ? stderr
+                    : stdout;
 
     const bool wantTrace = o.trace || !o.traceOut.empty() ||
                            o.checkInvariants;
@@ -437,52 +469,47 @@ runSingle(const Options &o, const std::string &schemeStr, int cpus)
     bool valid = wl.validate ? wl.validate(sys) : true;
     const StatSet &s = sys.stats();
 
-    std::printf("workload=%s scheme=%s cpus=%d ops=%llu\n",
-                wl.name.c_str(), schemeName(scheme), cpus,
-                static_cast<unsigned long long>(o.ops));
-    std::printf("completed=%s valid=%s cycles=%llu\n",
-                completed ? "yes" : "NO (watchdog)",
-                valid ? "yes" : "NO",
-                static_cast<unsigned long long>(sys.completionTick()));
-    std::printf("commits=%llu restarts=%llu fallbacks=%llu defers=%llu "
-                "probes=%llu busTxns=%llu\n",
-                static_cast<unsigned long long>(s.sum("spec", "commits")),
-                static_cast<unsigned long long>(
-                    s.sum("spec", "restarts")),
-                static_cast<unsigned long long>(
-                    s.sum("spec", "fallbacks")),
-                static_cast<unsigned long long>(s.sum("l1_", "defers")),
-                static_cast<unsigned long long>(
-                    s.get("net", "probeMsgs")),
-                static_cast<unsigned long long>(
-                    s.get("bus", "transactions")));
+    std::fprintf(rpt, "workload=%s scheme=%s cpus=%d ops=%llu\n",
+                 wl.name.c_str(), schemeName(scheme), cpus,
+                 static_cast<unsigned long long>(o.ops));
+    std::fprintf(rpt, "completed=%s valid=%s cycles=%llu\n",
+                 completed ? "yes" : "NO (watchdog)",
+                 valid ? "yes" : "NO",
+                 static_cast<unsigned long long>(sys.completionTick()));
+    std::fprintf(
+        rpt,
+        "commits=%llu restarts=%llu fallbacks=%llu defers=%llu "
+        "probes=%llu busTxns=%llu\n",
+        static_cast<unsigned long long>(s.sum("spec", "commits")),
+        static_cast<unsigned long long>(s.sum("spec", "restarts")),
+        static_cast<unsigned long long>(s.sum("spec", "fallbacks")),
+        static_cast<unsigned long long>(s.sum("l1_", "defers")),
+        static_cast<unsigned long long>(s.get("net", "probeMsgs")),
+        static_cast<unsigned long long>(s.get("bus", "transactions")));
     if (o.checkInvariants)
-        std::printf("invariantViolations=%llu (traceRecords=%llu)\n",
-                    static_cast<unsigned long long>(
-                        s.get("trace", "violations")),
-                    static_cast<unsigned long long>(
-                        sys.traceSink().emitted()));
+        std::fprintf(rpt, "invariantViolations=%llu (traceRecords=%llu)\n",
+                     static_cast<unsigned long long>(
+                         s.get("trace", "violations")),
+                     static_cast<unsigned long long>(
+                         sys.traceSink().emitted()));
     if (!o.statsPrefix.empty()) {
-        std::printf("%s",
-                    s.dump(o.statsPrefix == "all" ? "" : o.statsPrefix)
-                        .c_str());
+        std::fprintf(rpt, "%s",
+                     s.dump(o.statsPrefix == "all" ? "" : o.statsPrefix)
+                         .c_str());
     }
     if (o.metrics)
-        std::printf("%s", sys.metrics()->snapshot().summary().c_str());
+        std::fprintf(rpt, "%s",
+                     sys.metrics()->snapshot().summary().c_str());
     if (sys.timeline())
-        std::printf("%s", sys.timeline()->report().c_str());
-    if (!o.timelineOut.empty()) {
-        std::ofstream out(o.timelineOut, std::ios::binary);
-        if (!out)
-            fatal("cannot write timeline file '%s'",
-                  o.timelineOut.c_str());
-        out << sys.timeline()->csv();
-    }
+        std::fprintf(rpt, "%s", sys.timeline()->report().c_str());
+    if (!o.timelineOut.empty())
+        writeTextArtifact(o.timelineOut, sys.timeline()->csv(),
+                          "timeline");
     if (o.explainOn) {
-        std::printf("%s",
-                    sys.explainer()
-                        ->report(parseExplainMode(o.explainMode))
-                        .c_str());
+        std::fprintf(rpt, "%s",
+                     sys.explainer()
+                         ->report(parseExplainMode(o.explainMode))
+                         .c_str());
         if (!o.explainDot.empty()) {
             std::ofstream out(o.explainDot);
             if (!out)
@@ -526,10 +553,7 @@ runSingle(const Options &o, const std::string &schemeStr, int cpus)
                      static_cast<unsigned long long>(
                          rawWriter.written()),
                      o.traceRaw.c_str());
-    if (!o.statsJson.empty()) {
-        std::ofstream out(o.statsJson);
-        if (!out)
-            fatal("cannot write stats file '%s'", o.statsJson.c_str());
+    if (!o.statsJson.empty() || !o.reportDir.empty()) {
         std::string extra;
         if (o.metrics)
             extra = "  \"metrics\": " + sys.metrics()->snapshot().json();
@@ -538,7 +562,58 @@ runSingle(const Options &o, const std::string &schemeStr, int cpus)
                 extra += ",\n";
             extra += "  \"timeline\": " + sys.timeline()->json();
         }
-        out << s.dumpJson(extra);
+        std::string statsDoc = s.dumpJson(extra);
+        if (!o.statsJson.empty())
+            writeTextArtifact(o.statsJson, statsDoc, "stats");
+        if (!o.reportDir.empty()) {
+            BundleMeta bm;
+            bm.workload = wl.name;
+            bm.scheme = schemeName(scheme);
+            bm.protocol = o.protocol;
+            bm.cpus = cpus;
+            bm.ops = o.ops;
+            bm.seed = o.seed;
+            bm.theta = o.theta;
+            bm.keys = o.keys;
+            bm.partitions = o.partitions;
+            bm.wbLines = o.wbLines;
+            bm.victimEntries = o.victimEntries;
+            bm.yieldTimeout = o.yieldTimeout;
+            bm.preemptEvery = o.preemptEvery;
+            bm.preemptQuantum = o.preemptQuantum;
+            bm.maxTicks = o.maxTicks;
+            bm.timelineEpoch = o.timelineEpoch;
+            bm.metrics = o.metrics;
+            bm.explain = o.explainOn;
+            bm.checkInvariants = o.checkInvariants;
+            bm.completed = completed;
+            bm.valid = valid;
+            bm.cycles = sys.completionTick();
+            bm.invariantViolations = s.get("trace", "violations");
+            bm.threads = o.threads;
+            bm.jobs = o.jobs;
+            bm.lookahead = o.lookahead;
+            bm.dirBanks = o.dirBanks;
+
+            BundleArtifacts art;
+            art.statsJson = statsDoc;
+            if (sys.timeline())
+                art.timelineCsv = sys.timeline()->csv();
+            if (o.explainOn)
+                art.explainText = sys.explainer()->report(
+                    parseExplainMode(o.explainMode));
+            // The raw writer already finished (header back-patched)
+            // when the sink drained at end of run, so the file is
+            // complete and safe to copy.
+            art.rawTracePath = o.traceRaw;
+
+            std::string err;
+            std::string entry = writeRunBundle(o.reportDir, bm, art, err);
+            if (entry.empty())
+                fatal("--report-dir: %s", err.c_str());
+            std::fprintf(stderr, "report: wrote bundle %s\n",
+                         entry.c_str());
+        }
     }
     if (!o.benchJson.empty()) {
         ConfigRow row;
@@ -576,6 +651,12 @@ runSweepMode(const Options &o, const std::vector<std::string> &schemes,
         fatal("--stats-json in a sweep requires --metrics (writes the "
               "per-scheme merged metrics document); narrow "
               "--scheme/--cpus for a raw counter dump");
+    if (!o.reportDir.empty())
+        fatal("--report-dir records one run bundle per invocation; "
+              "narrow --scheme/--cpus to a single config");
+
+    FILE *rpt = (o.statsJson == "-" || o.benchJson == "-") ? stderr
+                                                           : stdout;
 
     std::vector<SweepTask> tasks;
     std::vector<ConfigRow> rows;
@@ -614,10 +695,11 @@ runSweepMode(const Options &o, const std::vector<std::string> &schemes,
     // --jobs and --threads share one core budget: an unspecified jobs
     // count is divided by the per-simulation worker count.
     unsigned jobs = resolveJobs(o.jobs, o.threads);
-    std::printf("sweep: %zu configs of workload=%s on %u host "
-                "thread(s), %u intra-sim worker(s) each\n",
-                tasks.size(), o.workload.c_str(), jobs,
-                o.threads ? o.threads : 1);
+    std::fprintf(rpt,
+                 "sweep: %zu configs of workload=%s on %u host "
+                 "thread(s), %u intra-sim worker(s) each\n",
+                 tasks.size(), o.workload.c_str(), jobs,
+                 o.threads ? o.threads : 1);
     std::vector<SweepResult> res = runSweep(tasks, jobs);
 
     Table t({"scheme", "cpus", "completed", "valid", "cycles",
@@ -643,7 +725,7 @@ runSweepMode(const Options &o, const std::vector<std::string> &schemes,
         else if (!r.valid && exitCode == 0)
             exitCode = 2;
     }
-    std::printf("%s", t.str().c_str());
+    std::fprintf(rpt, "%s", t.str().c_str());
     if (o.metrics) {
         // Deterministic shard merge: one snapshot per scheme,
         // accumulated in the fixed (scheme, cpus) task order, so the
@@ -657,23 +739,23 @@ runSweepMode(const Options &o, const std::vector<std::string> &schemes,
             merged.back().second.merge(*res[i].stats.metrics);
         }
         for (const auto &[schemeStr, snap] : merged) {
-            std::printf("\n=== scheme %s (all cpu counts merged) ===\n%s",
-                        schemeStr.c_str(), snap.summary().c_str());
+            std::fprintf(rpt,
+                         "\n=== scheme %s (all cpu counts merged) ===\n%s",
+                         schemeStr.c_str(), snap.summary().c_str());
         }
         if (!o.statsJson.empty()) {
-            std::ofstream out(o.statsJson);
-            if (!out)
-                fatal("cannot write stats file '%s'",
-                      o.statsJson.c_str());
-            out << "{\n  \"schema_version\": " << metricsSchemaVersion
-                << ",\n  \"meta\": " << buildMetaJson()
-                << ",\n  \"schemes\": {\n";
+            std::string doc =
+                "{\n  \"schema_version\": " +
+                std::to_string(metricsSchemaVersion) +
+                ",\n  \"meta\": " + buildMetaJson() +
+                ",\n  \"schemes\": {\n";
             for (size_t i = 0; i < merged.size(); ++i) {
-                out << "  \"" << merged[i].first
-                    << "\": " << merged[i].second.json()
-                    << (i + 1 < merged.size() ? "," : "") << "\n";
+                doc += "  \"" + merged[i].first +
+                       "\": " + merged[i].second.json() +
+                       (i + 1 < merged.size() ? "," : "") + "\n";
             }
-            out << "  }\n}\n";
+            doc += "  }\n}\n";
+            writeTextArtifact(o.statsJson, doc, "stats");
         }
     }
     if (!o.benchJson.empty())
@@ -752,6 +834,7 @@ main(int argc, char **argv)
         else if (std::strcmp(a, "--stats") == 0) o.statsPrefix = "all";
         else if (parseFlag(a, "--stats-json", v)) o.statsJson = v;
         else if (parseFlag(a, "--bench-json", v)) o.benchJson = v;
+        else if (parseFlag(a, "--report-dir", v)) o.reportDir = v;
         else if (parseFlag(a, "--trace-out", v)) o.traceOut = v;
         else if (parseFlag(a, "--trace-raw", v)) o.traceRaw = v;
         else if (parseFlag(a, "--trace-filter", v)) o.traceFilter = v;
@@ -797,6 +880,21 @@ main(int argc, char **argv)
     if (o.listWorkloads) {
         std::printf("%s", workloadListText().c_str());
         return 0;
+    }
+
+    // stdout can carry exactly one machine document; two '-' sinks
+    // would interleave into an unparseable stream.
+    {
+        int stdoutSinks = (o.statsJson == "-") + (o.timelineOut == "-") +
+                          (o.benchJson == "-");
+        if (stdoutSinks > 1) {
+            std::fprintf(stderr,
+                         "tlrsim: at most one of --stats-json/"
+                         "--timeline-out/--bench-json may write to "
+                         "stdout ('-'); got %d\n",
+                         stdoutSinks);
+            return 1;
+        }
     }
 
     std::vector<std::string> schemes = splitList(o.scheme);

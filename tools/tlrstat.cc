@@ -17,6 +17,11 @@
  *   --new-prefix=PATH    dotted path to the comparison root in NEW
  *                        (--old-prefix also sets --new-prefix unless
  *                        the latter is given explicitly)
+ *   --json               machine-readable diff document on stdout
+ *                        (versioned: diffJsonSchemaVersion; one row
+ *                        object per compared key incl. report-only
+ *                        rows) instead of the human table; exit codes
+ *                        are identical either way
  */
 
 #include <cstdio>
@@ -39,7 +44,7 @@ usage()
     std::fprintf(
         stderr,
         "usage: tlrstat [--threshold=PCT[%%]] [--old-prefix=PATH]\n"
-        "               [--new-prefix=PATH] OLD.json NEW.json\n");
+        "               [--new-prefix=PATH] [--json] OLD.json NEW.json\n");
 }
 
 bool
@@ -78,6 +83,7 @@ main(int argc, char **argv)
 {
     tlr::DiffOptions opt;
     bool newPrefixSet = false;
+    bool jsonOut = false;
     std::string oldPath, newPath;
 
     for (int i = 1; i < argc; ++i) {
@@ -101,6 +107,8 @@ main(int argc, char **argv)
         } else if (arg.rfind("--new-prefix=", 0) == 0) {
             opt.newPrefix = arg.substr(13);
             newPrefixSet = true;
+        } else if (arg == "--json") {
+            jsonOut = true;
         } else if (arg == "--version") {
             std::printf("%s", tlr::versionString("tlrstat").c_str());
             return 0;
@@ -133,7 +141,9 @@ main(int argc, char **argv)
     opt.oldName = oldPath;
     opt.newName = newPath;
     tlr::DiffReport rep = tlr::diffStats(oldDoc, newDoc, opt);
-    std::fputs(tlr::renderDiff(rep, opt).c_str(), stdout);
+    std::fputs(jsonOut ? tlr::renderDiffJson(rep, opt).c_str()
+                       : tlr::renderDiff(rep, opt).c_str(),
+               stdout);
     if (rep.schemaMismatch || rep.timelineEpochMismatch)
         return 2;
     if (!rep.error.empty())
